@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to scaled-down sizes so ``pytest benchmarks/
+--benchmark-only`` completes in minutes on a laptop; set
+``REPRO_BENCH_SCALE=paper`` to run the paper-sized sweeps (n = 12/14, p up to
+10, larger ensembles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import figure4_graph, is_paper_scale
+from repro.hilbert import state_matrix
+from repro.problems.maxcut import maxcut_values
+
+
+def pytest_report_header(config):
+    scale = "paper" if is_paper_scale() else "quick"
+    return f"repro benchmark scale: {scale} (set REPRO_BENCH_SCALE=paper for full size)"
+
+
+@pytest.fixture(scope="session")
+def fig4_scaling_qubits():
+    """Qubit counts used by the Fig. 4a scaling benchmarks."""
+    return [4, 6, 8, 10, 12] if is_paper_scale() else [4, 6, 8]
+
+
+@pytest.fixture(scope="session")
+def fig4b_setup():
+    """(n, rounds) for the Fig. 4b round-scaling benchmarks."""
+    if is_paper_scale():
+        return 14, [1, 2, 4, 6, 8, 10]
+    return 10, [1, 2, 4]
+
+
+@pytest.fixture(scope="session")
+def maxcut_workload():
+    """A medium MaxCut workload shared by several benchmarks."""
+    n = 12 if is_paper_scale() else 10
+    graph = figure4_graph(n)
+    obj = maxcut_values(graph, state_matrix(n))
+    return n, graph, obj
+
+
+@pytest.fixture(scope="session")
+def angle_rng():
+    return np.random.default_rng(20231117)

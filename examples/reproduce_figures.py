@@ -1,0 +1,70 @@
+"""Regenerate every figure of the paper as plain-text tables.
+
+This drives the benchmark harness (:mod:`repro.bench.figures`) end to end and
+prints one table per figure.  Figures are scaled down by default so the script
+finishes in a few minutes; set ``REPRO_BENCH_SCALE=paper`` for the paper-sized
+parameters (n = 12/14, p up to 10, 50+ instances — substantially slower).
+
+Results are also written as JSON rows under ``./figure_outputs/`` so they can
+be re-plotted or diffed later.
+
+Run with:  python examples/reproduce_figures.py [--figures 2,4a,4b,5,grover]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench import (
+    format_rows,
+    run_figure2,
+    run_figure3,
+    run_figure4a,
+    run_figure4b,
+    run_figure5,
+    run_grover_compression,
+)
+from repro.io.results import save_rows
+
+RUNNERS = {
+    "2": ("Figure 2 — quality vs rounds for four problem/mixer pairs", run_figure2),
+    "3": ("Figure 3 — angle-finding strategy comparison (slowest figure)", run_figure3),
+    "4a": ("Figure 4a — time & memory vs qubits (p=1 MaxCut)", run_figure4a),
+    "4b": ("Figure 4b — time vs rounds (fixed-n MaxCut)", run_figure4b),
+    "5": ("Figure 5 — BFGS with finite-difference vs adjoint gradients", run_figure5),
+    "grover": ("Sec. 2.4 — Grover-mixer value compression", run_grover_compression),
+}
+
+DEFAULT_FIGURES = ["2", "4a", "4b", "5", "grover"]  # figure 3 is opt-in (slow)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures",
+        default=",".join(DEFAULT_FIGURES),
+        help=f"comma-separated subset of {sorted(RUNNERS)} (default: {','.join(DEFAULT_FIGURES)})",
+    )
+    parser.add_argument(
+        "--output-dir", default="figure_outputs", help="directory for the JSON row dumps"
+    )
+    args = parser.parse_args()
+
+    selected = [f.strip() for f in args.figures.split(",") if f.strip()]
+    unknown = [f for f in selected if f not in RUNNERS]
+    if unknown:
+        raise SystemExit(f"unknown figure id(s) {unknown}; choose from {sorted(RUNNERS)}")
+
+    output_dir = Path(args.output_dir)
+    for figure_id in selected:
+        title, runner = RUNNERS[figure_id]
+        print(f"\n=== {title} ===")
+        rows = runner()
+        print(format_rows(rows))
+        path = save_rows(output_dir / f"figure_{figure_id}.json", rows)
+        print(f"(rows saved to {path})")
+
+
+if __name__ == "__main__":
+    main()

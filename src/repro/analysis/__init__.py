@@ -1,0 +1,31 @@
+"""Metrics and post-processing: approximation ratios, fair sampling, convergence series."""
+
+from .convergence import ConvergenceSeries, average_series, series_from_results
+from .fair_sampling import (
+    amplitude_spread_by_value,
+    is_fair_sampling,
+    value_class_probabilities,
+)
+from .metrics import (
+    approximation_ratio,
+    ensemble_mean,
+    ensemble_summary,
+    expectation_from_probabilities,
+    normalized_approximation_ratio,
+    success_probability,
+)
+
+__all__ = [
+    "ConvergenceSeries",
+    "average_series",
+    "series_from_results",
+    "amplitude_spread_by_value",
+    "is_fair_sampling",
+    "value_class_probabilities",
+    "approximation_ratio",
+    "ensemble_mean",
+    "ensemble_summary",
+    "expectation_from_probabilities",
+    "normalized_approximation_ratio",
+    "success_probability",
+]

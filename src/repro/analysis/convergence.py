@@ -1,0 +1,95 @@
+"""Convergence-versus-rounds summaries.
+
+Figures 2 and 3 of the paper plot how solution quality improves as the number
+of QAOA rounds ``p`` grows, for a single instance (Fig. 2) or averaged across
+an ensemble (Fig. 3).  These helpers turn per-round angle-finding results into
+those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..angles.result import AngleResult
+from .metrics import normalized_approximation_ratio
+
+__all__ = ["ConvergenceSeries", "series_from_results", "average_series"]
+
+
+@dataclass(frozen=True)
+class ConvergenceSeries:
+    """Solution quality as a function of the number of rounds.
+
+    ``rounds[i]`` is a round count ``p`` and ``values[i]`` the corresponding
+    quality metric (expectation, approximation ratio, ...).
+    """
+
+    rounds: tuple[int, ...]
+    values: tuple[float, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.rounds) != len(self.values):
+            raise ValueError("rounds and values must have the same length")
+        if list(self.rounds) != sorted(self.rounds):
+            raise ValueError("rounds must be sorted ascending")
+
+    def final(self) -> float:
+        """The value at the largest round count."""
+        if not self.values:
+            raise ValueError("empty series")
+        return self.values[-1]
+
+    def is_monotone(self, tol: float = 1e-9) -> bool:
+        """Whether the series never decreases by more than ``tol``."""
+        return all(b >= a - tol for a, b in zip(self.values, self.values[1:]))
+
+    def as_rows(self) -> list[dict]:
+        """Table rows (one per round) for printing/serialization."""
+        return [
+            {"label": self.label, "p": p, "value": v}
+            for p, v in zip(self.rounds, self.values)
+        ]
+
+
+def series_from_results(
+    results: Mapping[int, AngleResult],
+    *,
+    optimum: float | None = None,
+    worst: float | None = None,
+    label: str = "",
+) -> ConvergenceSeries:
+    """Build a series from ``find_angles``-style per-round results.
+
+    If ``optimum`` (and optionally ``worst``) is given the values are
+    converted to (normalized) approximation ratios; otherwise the raw
+    expectation values are used.
+    """
+    rounds = tuple(sorted(results))
+    values = []
+    for p in rounds:
+        value = results[p].value
+        if optimum is not None:
+            if worst is not None:
+                value = normalized_approximation_ratio(value, optimum, worst)
+            else:
+                value = value / optimum
+        values.append(float(value))
+    return ConvergenceSeries(rounds=rounds, values=tuple(values), label=label)
+
+
+def average_series(series: Sequence[ConvergenceSeries], label: str = "mean") -> ConvergenceSeries:
+    """Point-wise mean of several series sharing the same round grid (Fig. 3 style)."""
+    if not series:
+        raise ValueError("at least one series is required")
+    grids = {s.rounds for s in series}
+    if len(grids) != 1:
+        raise ValueError("all series must share the same round grid")
+    rounds = series[0].rounds
+    stacked = np.array([s.values for s in series], dtype=np.float64)
+    return ConvergenceSeries(
+        rounds=rounds, values=tuple(stacked.mean(axis=0).tolist()), label=label
+    )

@@ -1,0 +1,78 @@
+"""Metrics extracted from QAOA simulations.
+
+These are the quantities the paper's figures plot: approximation ratios
+(Fig. 2, Fig. 3), optimal-state ("ground state") probabilities, and summary
+statistics across instance ensembles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.precompute import PrecomputedCost
+from ..core.simulator import QAOAResult
+
+__all__ = [
+    "approximation_ratio",
+    "normalized_approximation_ratio",
+    "success_probability",
+    "expectation_from_probabilities",
+    "ensemble_mean",
+    "ensemble_summary",
+]
+
+
+def approximation_ratio(expectation: float, optimum: float) -> float:
+    """``expectation / optimum`` for a maximization problem with positive optimum."""
+    if optimum == 0:
+        raise ZeroDivisionError("optimum is zero; use normalized_approximation_ratio instead")
+    return float(expectation) / float(optimum)
+
+
+def normalized_approximation_ratio(expectation: float, optimum: float, worst: float) -> float:
+    """``(expectation - worst) / (optimum - worst)`` — in [0, 1] regardless of sign conventions."""
+    spread = float(optimum) - float(worst)
+    if spread == 0:
+        return 1.0
+    return (float(expectation) - float(worst)) / spread
+
+
+def success_probability(result: QAOAResult) -> float:
+    """Probability of measuring an optimal state (alias of the result method)."""
+    return result.ground_state_probability()
+
+
+def expectation_from_probabilities(probabilities: np.ndarray, values: np.ndarray) -> float:
+    """``sum_x p(x) C(x)`` — expectation from a probability vector."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if probabilities.shape != values.shape:
+        raise ValueError("probabilities and values must have the same shape")
+    if np.any(probabilities < -1e-12):
+        raise ValueError("probabilities must be non-negative")
+    return float(np.dot(probabilities, values))
+
+
+def ensemble_mean(ratios: Sequence[float]) -> float:
+    """Mean of a sequence of per-instance values (e.g. approximation ratios)."""
+    ratios = np.asarray(list(ratios), dtype=np.float64)
+    if ratios.size == 0:
+        raise ValueError("at least one value is required")
+    return float(ratios.mean())
+
+
+def ensemble_summary(values: Sequence[float]) -> dict[str, float]:
+    """Mean / std / min / max / median of an instance ensemble."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("at least one value is required")
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=0)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "median": float(np.median(arr)),
+        "count": int(arr.size),
+    }

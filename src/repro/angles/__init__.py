@@ -1,0 +1,28 @@
+"""Classical angle-finding outer loop: BFGS, basinhopping, iterative extrapolation, baselines."""
+
+from .basinhopping import basinhop, basinhop_scipy
+from .bfgs import GradientMode, local_minimize
+from .checkpoint import AngleCheckpoint
+from .grid import grid_axis, grid_search
+from .iterative import extrapolate_angles, find_angles, fourier_extrapolate
+from .median import evaluate_median_angles, median_angle_study, median_angles
+from .random_restart import find_angles_random
+from .result import AngleResult
+
+__all__ = [
+    "basinhop",
+    "basinhop_scipy",
+    "GradientMode",
+    "local_minimize",
+    "AngleCheckpoint",
+    "grid_axis",
+    "grid_search",
+    "extrapolate_angles",
+    "find_angles",
+    "fourier_extrapolate",
+    "evaluate_median_angles",
+    "median_angle_study",
+    "median_angles",
+    "find_angles_random",
+    "AngleResult",
+]

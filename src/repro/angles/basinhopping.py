@@ -1,0 +1,146 @@
+"""Basinhopping over QAOA angles.
+
+The paper's default angle-finding inner loop is the basinhopping algorithm of
+Wales & Doye (1997): alternate local minimization (BFGS) with random
+perturbations of the current best point, accepting or rejecting each hop with
+a Metropolis criterion.  Two implementations are provided:
+
+* :func:`basinhop` — an in-repo implementation with explicit control over the
+  step size, temperature and acceptance bookkeeping (and a seeded RNG so
+  benchmark rows are reproducible);
+* :func:`basinhop_scipy` — a thin wrapper over ``scipy.optimize.basinhopping``
+  for cross-checking.
+
+Both return an :class:`~repro.angles.result.AngleResult` in the problem's
+natural (maximize/minimize) sense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ..core.ansatz import QAOAAnsatz
+from .bfgs import GradientMode, local_minimize
+from .result import AngleResult
+
+__all__ = ["basinhop", "basinhop_scipy"]
+
+
+def basinhop(
+    ansatz: QAOAAnsatz,
+    x0: np.ndarray,
+    *,
+    n_hops: int = 10,
+    step_size: float = 0.4,
+    temperature: float = 1.0,
+    gradient: GradientMode = "adjoint",
+    maxiter: int = 200,
+    rng: np.random.Generator | int | None = None,
+    adaptive_step: bool = True,
+    target_acceptance: float = 0.5,
+) -> AngleResult:
+    """Basinhopping starting from ``x0``.
+
+    Parameters
+    ----------
+    n_hops:
+        Number of perturb-and-minimize hops after the initial local search.
+    step_size:
+        Standard scale of the uniform perturbation applied before each hop.
+    temperature:
+        Metropolis temperature for accepting uphill hops (in units of the
+        objective value).
+    adaptive_step, target_acceptance:
+        When adaptive stepping is on, the step size is nudged up or down every
+        few hops to steer the acceptance rate toward ``target_acceptance``,
+        matching scipy's behaviour.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+
+    best = local_minimize(ansatz, x0, gradient=gradient, maxiter=maxiter)
+    current = best
+    evaluations = best.evaluations
+    history = [{"hop": 0, "value": best.value, "accepted": True, "step_size": step_size}]
+
+    accepted_count = 0
+    for hop in range(1, n_hops + 1):
+        perturbed = current.angles + rng.uniform(-step_size, step_size, size=current.angles.size)
+        candidate = local_minimize(ansatz, perturbed, gradient=gradient, maxiter=maxiter)
+        evaluations += candidate.evaluations
+
+        # Metropolis acceptance on the *loss* (lower is better internally).
+        current_loss = -current.value if ansatz.maximize else current.value
+        candidate_loss = -candidate.value if ansatz.maximize else candidate.value
+        delta = candidate_loss - current_loss
+        if delta <= 0 or (temperature > 0 and rng.random() < np.exp(-delta / temperature)):
+            current = candidate
+            accepted = True
+            accepted_count += 1
+        else:
+            accepted = False
+
+        better = candidate.value > best.value if ansatz.maximize else candidate.value < best.value
+        if better:
+            best = candidate
+
+        history.append(
+            {"hop": hop, "value": candidate.value, "accepted": accepted, "step_size": step_size}
+        )
+
+        if adaptive_step and hop % 5 == 0:
+            rate = accepted_count / hop
+            if rate > target_acceptance:
+                step_size *= 1.1
+            else:
+                step_size *= 0.9
+
+    return AngleResult(
+        angles=best.angles,
+        value=best.value,
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="basinhopping",
+        history=history,
+    )
+
+
+def basinhop_scipy(
+    ansatz: QAOAAnsatz,
+    x0: np.ndarray,
+    *,
+    n_hops: int = 10,
+    step_size: float = 0.4,
+    temperature: float = 1.0,
+    seed: int | None = None,
+    maxiter: int = 200,
+) -> AngleResult:
+    """``scipy.optimize.basinhopping`` with the adjoint gradient feeding BFGS."""
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    evaluations = 0
+
+    def fun(x):
+        nonlocal evaluations
+        evaluations += 1
+        return ansatz.loss_and_gradient(x)
+
+    minimizer_kwargs = {"method": "BFGS", "jac": True, "options": {"maxiter": maxiter}}
+    res = optimize.basinhopping(
+        fun,
+        x0,
+        niter=n_hops,
+        stepsize=step_size,
+        T=temperature,
+        minimizer_kwargs=minimizer_kwargs,
+        seed=seed,
+    )
+    value = -float(res.fun) if ansatz.maximize else float(res.fun)
+    return AngleResult(
+        angles=np.asarray(res.x, dtype=np.float64),
+        value=value,
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="basinhopping-scipy",
+    )

@@ -1,0 +1,86 @@
+"""File-backed angle checkpoints.
+
+The paper's ``find_angles`` stores the angles found at every intermediate
+round in a user-supplied file so that an interrupted run (the paper mentions
+server crashes) resumes from the last completed round instead of starting
+over.  The checkpoint is a human-readable JSON document mapping round number
+to the serialized :class:`~repro.angles.result.AngleResult`; writes are
+atomic (write to a temp file, then rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .result import AngleResult
+
+__all__ = ["AngleCheckpoint"]
+
+_FORMAT_VERSION = 1
+
+
+class AngleCheckpoint:
+    """A JSON file holding the best angles found for each round ``p``."""
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path is not None else None
+        self._results: dict[int, AngleResult] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        version = int(data.get("format_version", 0))
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format version {version}")
+        for key, entry in data.get("rounds", {}).items():
+            self._results[int(key)] = AngleResult.from_dict(entry)
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "rounds": {str(p): result.to_dict() for p, result in sorted(self._results.items())},
+        }
+        # Atomic replace so a crash mid-write never corrupts the checkpoint.
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------
+    def store(self, result: AngleResult) -> None:
+        """Record (and persist) the result for its round."""
+        self._results[int(result.p)] = result
+        self._save()
+
+    def get(self, p: int) -> AngleResult | None:
+        """The stored result for round ``p``, if any."""
+        return self._results.get(int(p))
+
+    def last_round(self) -> int:
+        """Largest round with a stored result (0 if empty)."""
+        return max(self._results, default=0)
+
+    def rounds(self) -> list[int]:
+        """Sorted list of rounds with stored results."""
+        return sorted(self._results)
+
+    def __contains__(self, p: int) -> bool:
+        return int(p) in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -1,0 +1,75 @@
+"""Exhaustive grid search over QAOA angles.
+
+The simplest of the "other common angle-finding methods" mentioned in
+Sec. 2.3.  Useful as a ground truth at ``p = 1`` (where a fine 2-D grid is
+cheap) and as a coarse seeding stage at ``p = 2``; the cost grows as
+``resolution^(2p)`` so it is not a practical strategy beyond that — which is
+exactly why the iterative/extrapolation scheme exists.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from ..core.ansatz import QAOAAnsatz
+from .result import AngleResult
+
+__all__ = ["grid_search", "grid_axis"]
+
+
+def grid_axis(resolution: int, *, low: float = 0.0, high: float = 2.0 * np.pi) -> np.ndarray:
+    """``resolution`` evenly spaced angle values in ``[low, high)``."""
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+    return np.linspace(low, high, resolution, endpoint=False)
+
+
+def grid_search(
+    ansatz: QAOAAnsatz,
+    resolution: int = 12,
+    *,
+    beta_range: tuple[float, float] = (0.0, np.pi),
+    gamma_range: tuple[float, float] = (0.0, 2.0 * np.pi),
+    max_points: int = 2_000_000,
+) -> AngleResult:
+    """Evaluate ``<C>`` on a regular grid and return the best grid point.
+
+    Betas and gammas get separate ranges because the transverse-field mixer is
+    ``pi``-periodic in beta while typical integer-valued cost functions are
+    ``2 pi``-periodic in gamma.  ``max_points`` guards against accidentally
+    launching an astronomically large sweep at high ``p``.
+    """
+    num_angles = ansatz.num_angles
+    total_points = resolution**num_angles
+    if total_points > max_points:
+        raise ValueError(
+            f"grid of {total_points} points exceeds max_points={max_points}; "
+            "lower the resolution or use a different strategy"
+        )
+    num_betas = num_angles - ansatz.p
+    beta_axis = grid_axis(resolution, low=beta_range[0], high=beta_range[1])
+    gamma_axis = grid_axis(resolution, low=gamma_range[0], high=gamma_range[1])
+
+    best_value = -np.inf if ansatz.maximize else np.inf
+    best_angles: np.ndarray | None = None
+    evaluations = 0
+    axes = [beta_axis] * num_betas + [gamma_axis] * ansatz.p
+    for combo in product(*axes):
+        angles = np.asarray(combo, dtype=np.float64)
+        value = ansatz.expectation(angles)
+        evaluations += 1
+        better = value > best_value if ansatz.maximize else value < best_value
+        if better:
+            best_value = value
+            best_angles = angles
+
+    assert best_angles is not None
+    return AngleResult(
+        angles=best_angles,
+        value=float(best_value),
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="grid",
+    )

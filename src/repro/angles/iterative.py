@@ -1,0 +1,268 @@
+"""Iterative (extrapolated) angle finding — the paper's default strategy.
+
+``find_angles`` reproduces the scheme of Sec. 2.3 / Listing 3: find good
+angles at ``p = 1``, then for every subsequent round seed the search with an
+extrapolation of the previous round's angles and explore nearby local optima
+with basinhopping.  Every intermediate round is written to a checkpoint file
+so interrupted runs resume from the last completed round.
+
+Two extrapolation rules are provided:
+
+* ``"pad"`` — repeat the last beta/gamma for the new round (the simplest rule,
+  and the one early JuliQAOA studies used),
+* ``"interp"`` — linear interpolation of the (beta_i) and (gamma_i) sequences
+  from ``p-1`` points onto ``p`` points (the INTERP heuristic of Zhou et al.),
+  which preserves the annealing-like shape of converged schedules,
+* ``"fourier"`` — re-expand the angle sequences from their discrete sine/cosine
+  coefficients (the FOURIER heuristic of Zhou et al.): smooth schedules are
+  described by a few low-frequency components, so extending the schedule in
+  frequency space preserves its shape even better than linear interpolation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.ansatz import QAOAAnsatz
+from ..core.precompute import PrecomputedCost
+from ..mixers.base import Mixer
+from .basinhopping import basinhop
+from .bfgs import GradientMode
+from .checkpoint import AngleCheckpoint
+from .result import AngleResult
+
+__all__ = ["extrapolate_angles", "fourier_extrapolate", "find_angles"]
+
+
+def fourier_extrapolate(sequence: np.ndarray, new_length: int) -> np.ndarray:
+    """Extend a smooth angle sequence via its discrete sine-series coefficients.
+
+    The length-``q`` sequence is written as ``x_i = sum_k c_k sin((k + 1/2)
+    (i + 1/2) pi / q)`` (Zhou et al.'s FOURIER parameterization); the same
+    coefficients evaluated on a finer grid of ``new_length`` points give the
+    extended sequence.  For ``new_length == len(sequence)`` this is exact
+    round-tripping.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64).ravel()
+    q = sequence.size
+    if q == 0:
+        raise ValueError("cannot extrapolate an empty sequence")
+    if new_length < q:
+        raise ValueError("fourier extrapolation cannot shrink a sequence")
+    if q == 1:
+        return np.full(new_length, sequence[0])
+    i = np.arange(q)
+    k = np.arange(q)
+    basis = np.sin(np.outer(i + 0.5, k + 0.5) * np.pi / q)  # (i, k)
+    coeffs = np.linalg.solve(basis, sequence)
+    i_new = np.arange(new_length)
+    new_basis = np.sin(np.outer(i_new + 0.5, k + 0.5) * np.pi / new_length)
+    return new_basis @ coeffs
+
+
+def extrapolate_angles(angles: np.ndarray, p_from: int, p_to: int, method: str = "interp") -> np.ndarray:
+    """Extend a ``p_from``-round angle vector to ``p_to`` rounds.
+
+    The input and output use the flat (betas, gammas) layout with one beta per
+    round.  ``p_to`` must be at least ``p_from``.
+    """
+    angles = np.asarray(angles, dtype=np.float64).ravel()
+    if angles.size != 2 * p_from:
+        raise ValueError(f"expected {2 * p_from} angles for p={p_from}, got {angles.size}")
+    if p_to < p_from:
+        raise ValueError("cannot extrapolate to fewer rounds")
+    if p_to == p_from:
+        return angles.copy()
+
+    betas, gammas = angles[:p_from], angles[p_from:]
+    if method == "pad":
+        new_betas = np.concatenate([betas, np.full(p_to - p_from, betas[-1])])
+        new_gammas = np.concatenate([gammas, np.full(p_to - p_from, gammas[-1])])
+    elif method == "fourier":
+        new_betas = fourier_extrapolate(betas, p_to)
+        new_gammas = fourier_extrapolate(gammas, p_to)
+    elif method == "interp":
+        if p_from == 1:
+            new_betas = np.full(p_to, betas[0])
+            new_gammas = np.full(p_to, gammas[0])
+        else:
+            old_grid = np.linspace(0.0, 1.0, p_from)
+            new_grid = np.linspace(0.0, 1.0, p_to)
+            new_betas = np.interp(new_grid, old_grid, betas)
+            new_gammas = np.interp(new_grid, old_grid, gammas)
+    else:
+        raise ValueError(f"unknown extrapolation method {method!r}")
+    return np.concatenate([new_betas, new_gammas])
+
+
+def _initial_round(
+    ansatz: QAOAAnsatz,
+    *,
+    n_starts: int,
+    n_hops: int,
+    gradient: GradientMode,
+    rng: np.random.Generator,
+    maxiter: int,
+) -> AngleResult:
+    """Angle search at ``p = 1``: basinhopping from a handful of random starts."""
+    best: AngleResult | None = None
+    evaluations = 0
+    for _ in range(max(1, n_starts)):
+        x0 = 2.0 * np.pi * rng.random(ansatz.num_angles)
+        result = basinhop(
+            ansatz, x0, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter
+        )
+        evaluations += result.evaluations
+        if best is None:
+            best = result
+        else:
+            better = result.value > best.value if ansatz.maximize else result.value < best.value
+            if better:
+                best = result
+    assert best is not None
+    return AngleResult(
+        angles=best.angles,
+        value=best.value,
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="iterative-p1",
+    )
+
+
+def find_angles(
+    p: int,
+    mixer: Mixer | Sequence[Mixer],
+    obj_vals: np.ndarray | PrecomputedCost,
+    *,
+    file: str | Path | None = None,
+    initial_angles: np.ndarray | None = None,
+    initial_state: np.ndarray | None = None,
+    maximize: bool = True,
+    extrapolation: str = "interp",
+    gradient: GradientMode = "adjoint",
+    n_hops: int = 8,
+    n_starts_p1: int = 3,
+    maxiter: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> dict[int, AngleResult]:
+    """Find good angles for rounds ``1 .. p`` iteratively (the paper's ``find_angles``).
+
+    Parameters
+    ----------
+    p:
+        Target number of rounds.
+    mixer, obj_vals:
+        The pre-computed mixer and objective values defining the QAOA.
+    file:
+        Optional checkpoint path.  If the file exists, previously completed
+        rounds are loaded and the search resumes after the last one.
+    initial_angles:
+        If given, skip the iterative build-up and run a single basinhopping
+        search at round ``p`` starting from these angles (matching the
+        ``initial_angles`` escape hatch of Listing 3).
+    maximize:
+        Optimization sense of the objective values.
+    extrapolation:
+        ``"interp"`` or ``"pad"`` — how round ``p-1`` angles seed round ``p``.
+    gradient:
+        Gradient mode used by the BFGS local searches.
+    n_hops, n_starts_p1, maxiter:
+        Basinhopping / BFGS effort knobs.
+
+    Returns
+    -------
+    dict
+        Mapping from round number to the best :class:`AngleResult` found.
+    """
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    if isinstance(mixer, Mixer):
+        make_ansatz = lambda rounds: QAOAAnsatz(  # noqa: E731
+            obj_vals, mixer, rounds, initial_state=initial_state, maximize=maximize
+        )
+    else:
+        mixer_list = list(mixer)
+        if len(mixer_list) < p:
+            raise ValueError(f"need at least {p} mixers for a {p}-round schedule")
+        make_ansatz = lambda rounds: QAOAAnsatz(  # noqa: E731
+            obj_vals,
+            mixer_list[:rounds],
+            rounds,
+            initial_state=initial_state,
+            maximize=maximize,
+        )
+
+    checkpoint = AngleCheckpoint(file)
+    results: dict[int, AngleResult] = {r: checkpoint.get(r) for r in checkpoint.rounds()}  # type: ignore[misc]
+
+    # Escape hatch: direct search at round p from user-provided angles.
+    if initial_angles is not None:
+        ansatz = make_ansatz(p)
+        result = basinhop(
+            ansatz,
+            np.asarray(initial_angles, dtype=np.float64),
+            n_hops=n_hops,
+            gradient=gradient,
+            rng=rng,
+            maxiter=maxiter,
+        )
+        result = AngleResult(
+            angles=result.angles,
+            value=result.value,
+            p=p,
+            evaluations=result.evaluations,
+            strategy="iterative-seeded",
+        )
+        results[p] = result
+        checkpoint.store(result)
+        return results
+
+    start_round = 1
+    if results:
+        start_round = max(results) + 1
+
+    for rounds in range(start_round, p + 1):
+        ansatz = make_ansatz(rounds)
+        if rounds == 1:
+            result = _initial_round(
+                ansatz,
+                n_starts=n_starts_p1,
+                n_hops=n_hops,
+                gradient=gradient,
+                rng=rng,
+                maxiter=maxiter,
+            )
+        else:
+            seed = extrapolate_angles(
+                results[rounds - 1].angles, rounds - 1, rounds, method=extrapolation
+            )
+            hop = basinhop(
+                ansatz, seed, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter
+            )
+            result = AngleResult(
+                angles=hop.angles,
+                value=hop.value,
+                p=rounds,
+                evaluations=hop.evaluations,
+                strategy="iterative-extrapolated",
+            )
+            # The extrapolated seed should never make things worse than the
+            # previous round; if basinhopping wandered off, fall back to the
+            # seed itself evaluated at round `rounds`.
+            seed_value = ansatz.expectation(seed)
+            seed_better = seed_value > result.value if maximize else seed_value < result.value
+            if seed_better:
+                result = AngleResult(
+                    angles=seed, value=seed_value, p=rounds,
+                    evaluations=result.evaluations + 1, strategy="iterative-seed-kept",
+                )
+        results[rounds] = result
+        checkpoint.store(result)
+
+    return results

@@ -1,0 +1,85 @@
+"""Median-angles strategy.
+
+The second comparison strategy of the paper's Figure 3 (from Lotshaw et al.
+2021): run the random-restart search on a *collection* of problem instances,
+take the element-wise median of the best angles across instances, and use
+those fixed median angles for every instance (optionally with one final local
+polish per instance).  The strategy exploits the well-known concentration of
+good QAOA angles across random instances of the same problem family.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.ansatz import QAOAAnsatz
+from .bfgs import GradientMode, local_minimize
+from .random_restart import find_angles_random
+from .result import AngleResult
+
+__all__ = ["median_angles", "evaluate_median_angles", "median_angle_study"]
+
+
+def median_angles(results: Sequence[AngleResult]) -> np.ndarray:
+    """Element-wise median of the best angles of several instances."""
+    if not results:
+        raise ValueError("at least one angle result is required")
+    sizes = {r.angles.size for r in results}
+    if len(sizes) != 1:
+        raise ValueError("all angle results must have the same number of angles")
+    stacked = np.stack([r.angles for r in results], axis=0)
+    return np.median(stacked, axis=0)
+
+
+def evaluate_median_angles(
+    ansatz: QAOAAnsatz,
+    angles: np.ndarray,
+    *,
+    polish: bool = False,
+    gradient: GradientMode = "adjoint",
+) -> AngleResult:
+    """Evaluate fixed median angles on one instance (optionally with a BFGS polish)."""
+    angles = np.asarray(angles, dtype=np.float64).ravel()
+    if polish:
+        result = local_minimize(ansatz, angles, gradient=gradient)
+        return AngleResult(
+            angles=result.angles,
+            value=result.value,
+            p=ansatz.p,
+            evaluations=result.evaluations,
+            strategy="median-polished",
+        )
+    value = ansatz.expectation(angles)
+    return AngleResult(angles=angles, value=value, p=ansatz.p, evaluations=1, strategy="median")
+
+
+def median_angle_study(
+    ansatze: Sequence[QAOAAnsatz],
+    *,
+    iters_per_instance: int = 20,
+    gradient: GradientMode = "adjoint",
+    rng: np.random.Generator | int | None = None,
+    polish: bool = False,
+) -> tuple[np.ndarray, list[AngleResult]]:
+    """Full median-angles pipeline over a family of instances.
+
+    Runs the random-restart search on every instance, computes the median of
+    the per-instance best angles, then re-evaluates those median angles on
+    every instance.  Returns ``(median_angles, per-instance results)``.
+    """
+    if not ansatze:
+        raise ValueError("at least one instance is required")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    per_instance_best = [
+        find_angles_random(a, iters=iters_per_instance, gradient=gradient, rng=rng)
+        for a in ansatze
+    ]
+    medians = median_angles(per_instance_best)
+    evaluated = [
+        evaluate_median_angles(a, medians, polish=polish, gradient=gradient) for a in ansatze
+    ]
+    return medians, evaluated

@@ -1,0 +1,66 @@
+"""Random local-minima exploration (the Lotshaw et al. baseline).
+
+The comparison strategy of the paper's Figure 3: draw a random starting point
+uniformly in ``[0, 2 pi)^{2p}``, run BFGS to the nearest local optimum, repeat
+``iters`` times (100 in the reference study) and keep the best result.  This
+is also what the paper's Listing 3 implements as ``find_angles_rand`` to show
+how user-defined strategies plug in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ansatz import QAOAAnsatz
+from .bfgs import GradientMode, local_minimize
+from .result import AngleResult
+
+__all__ = ["find_angles_random"]
+
+
+def find_angles_random(
+    ansatz: QAOAAnsatz,
+    *,
+    iters: int = 100,
+    gradient: GradientMode = "adjoint",
+    maxiter: int = 200,
+    rng: np.random.Generator | int | None = None,
+    return_all: bool = False,
+) -> AngleResult | tuple[AngleResult, list[AngleResult]]:
+    """Best of ``iters`` independent random-start BFGS local searches.
+
+    With ``return_all=True`` the per-restart results are also returned, which
+    the median-angles strategy and Figure 3 consume.
+    """
+    if iters < 1:
+        raise ValueError("at least one restart is required")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    best: AngleResult | None = None
+    all_results: list[AngleResult] = []
+    evaluations = 0
+    for _ in range(iters):
+        x0 = 2.0 * np.pi * rng.random(ansatz.num_angles)
+        result = local_minimize(ansatz, x0, gradient=gradient, maxiter=maxiter)
+        evaluations += result.evaluations
+        all_results.append(result)
+        if best is None:
+            best = result
+        else:
+            better = result.value > best.value if ansatz.maximize else result.value < best.value
+            if better:
+                best = result
+
+    assert best is not None
+    summary = AngleResult(
+        angles=best.angles,
+        value=best.value,
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="random-restart",
+        history=[{"restart": i, "value": r.value} for i, r in enumerate(all_results)],
+    )
+    if return_all:
+        return summary, all_results
+    return summary

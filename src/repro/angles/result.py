@@ -1,0 +1,73 @@
+"""Common result container for angle-finding strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AngleResult"]
+
+
+@dataclass
+class AngleResult:
+    """Outcome of one angle-finding run.
+
+    Attributes
+    ----------
+    angles:
+        The best angle vector found (flat layout: betas then gammas).
+    value:
+        The expectation value ``<C>`` at those angles (in the problem's natural
+        sense, i.e. larger is better for maximization problems).
+    p:
+        Number of QAOA rounds the angles describe.
+    evaluations:
+        Number of expectation-value evaluations spent.
+    strategy:
+        Name of the strategy that produced the result.
+    history:
+        Optional per-step records (restart values, accepted hops, ...).
+    """
+
+    angles: np.ndarray
+    value: float
+    p: int
+    evaluations: int = 0
+    strategy: str = ""
+    history: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.angles = np.asarray(self.angles, dtype=np.float64).ravel()
+        self.value = float(self.value)
+
+    def betas(self, num_betas: int | None = None) -> np.ndarray:
+        """The beta (mixer-angle) block of the angle vector."""
+        if num_betas is None:
+            num_betas = self.angles.size - self.p
+        return self.angles[:num_betas]
+
+    def gammas(self) -> np.ndarray:
+        """The gamma (phase-separator) block of the angle vector."""
+        return self.angles[self.angles.size - self.p :]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (used by checkpoints)."""
+        return {
+            "angles": self.angles.tolist(),
+            "value": self.value,
+            "p": int(self.p),
+            "evaluations": int(self.evaluations),
+            "strategy": self.strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AngleResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            angles=np.asarray(data["angles"], dtype=np.float64),
+            value=float(data["value"]),
+            p=int(data["p"]),
+            evaluations=int(data.get("evaluations", 0)),
+            strategy=str(data.get("strategy", "")),
+        )

@@ -1,0 +1,21 @@
+"""Alternative QAOA simulators used as comparison baselines (Fig. 4, Sec. 4)."""
+
+from .circuit_qaoa import (
+    CircuitQAOABase,
+    DecomposedCircuitQAOA,
+    DenseUnitaryQAOA,
+    GateCircuitQAOA,
+)
+from .direct import DirectQAOA
+from .trotter import TrotterXYMixer, trotter_clique_mixer, trotter_ring_mixer
+
+__all__ = [
+    "CircuitQAOABase",
+    "DecomposedCircuitQAOA",
+    "DenseUnitaryQAOA",
+    "GateCircuitQAOA",
+    "DirectQAOA",
+    "TrotterXYMixer",
+    "trotter_clique_mixer",
+    "trotter_ring_mixer",
+]

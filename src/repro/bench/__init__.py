@@ -1,0 +1,44 @@
+"""Benchmark harness: workload generators, timing utilities and per-figure runners."""
+
+from .figures import (
+    format_rows,
+    run_figure2,
+    run_figure3,
+    run_figure4a,
+    run_figure4b,
+    run_figure5,
+    run_grover_compression,
+)
+from .timing import time_and_memory, time_call
+from .workloads import (
+    Figure2Case,
+    bench_scale,
+    figure2_cases,
+    figure3_instances,
+    figure4_graph,
+    figure4a_qubit_range,
+    figure4b_round_range,
+    figure5_instances,
+    is_paper_scale,
+)
+
+__all__ = [
+    "format_rows",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4a",
+    "run_figure4b",
+    "run_figure5",
+    "run_grover_compression",
+    "time_and_memory",
+    "time_call",
+    "Figure2Case",
+    "bench_scale",
+    "figure2_cases",
+    "figure3_instances",
+    "figure4_graph",
+    "figure4a_qubit_range",
+    "figure4b_round_range",
+    "figure5_instances",
+    "is_paper_scale",
+]

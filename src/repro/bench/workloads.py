@@ -1,0 +1,186 @@
+"""Seeded workload generators for every figure of the paper.
+
+All generators are deterministic in their ``seed`` argument so benchmark rows
+can be regenerated exactly.  Sizes default to a scaled-down "quick" profile so
+the whole harness runs in CI-friendly time; setting the environment variable
+``REPRO_BENCH_SCALE=paper`` switches to the paper's parameters (n = 12/14,
+p up to 10, 50-100 instances), which take considerably longer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.precompute import PrecomputedCost
+from ..mixers.base import Mixer
+from ..mixers.grover import grover_mixer
+from ..mixers.xmixer import transverse_field_mixer
+from ..mixers.xy import CliqueMixer, RingMixer
+from ..problems.registry import ProblemInstance, make_problem
+
+__all__ = [
+    "bench_scale",
+    "is_paper_scale",
+    "Figure2Case",
+    "figure2_cases",
+    "figure3_instances",
+    "figure4_graph",
+    "figure4a_qubit_range",
+    "figure4b_round_range",
+    "figure5_instances",
+    "FIG2_SEED",
+    "FIG3_SEED",
+    "FIG4_SEED",
+    "FIG5_SEED",
+]
+
+FIG2_SEED = 20231112
+FIG3_SEED = 20231113
+FIG4_SEED = 20231114
+FIG5_SEED = 20231115
+
+
+def bench_scale() -> str:
+    """The active benchmark profile: ``"quick"`` (default) or ``"paper"``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {scale!r}")
+    return scale
+
+
+def is_paper_scale() -> bool:
+    """Whether the full paper-scale parameters are requested."""
+    return bench_scale() == "paper"
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — four problem/mixer pairs at n = 12 (quick: n = 8)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure2Case:
+    """One problem/mixer pair of Figure 2."""
+
+    label: str
+    problem: ProblemInstance
+    mixer: Mixer
+    cost: PrecomputedCost
+
+    @property
+    def n(self) -> int:
+        """Number of qubits."""
+        return self.problem.n
+
+
+def figure2_cases(n: int | None = None, seed: int = FIG2_SEED) -> list[Figure2Case]:
+    """The four (problem, mixer) pairs of Figure 2.
+
+    MaxCut + transverse field, 3-SAT (clause density 6) + Grover,
+    Densest-k-Subgraph + Clique, Max-k-Vertex-Cover + Ring, all on
+    ``G(n, 0.5)`` with ``k = n/2`` for the constrained problems.
+    """
+    if n is None:
+        n = 12 if is_paper_scale() else 8
+    k = n // 2
+    cases: list[Figure2Case] = []
+
+    maxcut = make_problem("maxcut", n, seed=seed)
+    cases.append(
+        Figure2Case(
+            label="maxcut+transverse_field",
+            problem=maxcut,
+            mixer=transverse_field_mixer(n),
+            cost=PrecomputedCost(values=maxcut.objective_values(), space=maxcut.space),
+        )
+    )
+
+    ksat = make_problem("ksat", n, seed=seed + 1, clause_density=6.0, sat_k=3)
+    cases.append(
+        Figure2Case(
+            label="3sat+grover",
+            problem=ksat,
+            mixer=grover_mixer(n),
+            cost=PrecomputedCost(values=ksat.objective_values(), space=ksat.space),
+        )
+    )
+
+    dks = make_problem("densest_subgraph", n, seed=seed + 2, k=k)
+    cases.append(
+        Figure2Case(
+            label="densest_k_subgraph+clique",
+            problem=dks,
+            mixer=CliqueMixer(n, k),
+            cost=PrecomputedCost(values=dks.objective_values(), space=dks.space),
+        )
+    )
+
+    kvc = make_problem("vertex_cover", n, seed=seed + 3, k=k)
+    cases.append(
+        Figure2Case(
+            label="k_vertex_cover+ring",
+            problem=kvc,
+            mixer=RingMixer(n, k),
+            cost=PrecomputedCost(values=kvc.objective_values(), space=kvc.space),
+        )
+    )
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — an ensemble of MaxCut instances at n = 12 (quick: fewer, smaller)
+# ---------------------------------------------------------------------------
+
+def figure3_instances(
+    num_instances: int | None = None, n: int | None = None, seed: int = FIG3_SEED
+) -> list[ProblemInstance]:
+    """Seeded MaxCut instances on ``G(n, 0.5)`` for the angle-strategy comparison."""
+    if n is None:
+        n = 12 if is_paper_scale() else 8
+    if num_instances is None:
+        num_instances = 50 if is_paper_scale() else 6
+    return [make_problem("maxcut", n, seed=seed + i) for i in range(num_instances)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — scaling sweeps
+# ---------------------------------------------------------------------------
+
+def figure4_graph(n: int, seed: int = FIG4_SEED) -> nx.Graph:
+    """The ``G(n, 0.5)`` MaxCut graph used in the Fig. 4 scaling sweeps."""
+    return make_problem("maxcut", n, seed=seed).metadata["graph"]
+
+
+def figure4a_qubit_range(include_dense: bool = False) -> list[int]:
+    """Qubit counts swept in Fig. 4a (the dense baseline stops earlier)."""
+    if is_paper_scale():
+        qubits = list(range(4, 17, 2))
+    else:
+        qubits = [4, 6, 8, 10]
+    if include_dense:
+        qubits = [q for q in qubits if q <= 10]
+    return qubits
+
+
+def figure4b_round_range() -> tuple[int, list[int]]:
+    """``(n, p values)`` swept in Fig. 4b."""
+    if is_paper_scale():
+        return 14, list(range(1, 11))
+    return 10, [1, 2, 4, 6, 8]
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — gradient-method comparison instances
+# ---------------------------------------------------------------------------
+
+def figure5_instances(
+    num_instances: int | None = None, n: int | None = None, seed: int = FIG5_SEED
+) -> list[ProblemInstance]:
+    """Seeded MaxCut instances for the AD-vs-finite-difference timing comparison."""
+    if n is None:
+        n = 14 if is_paper_scale() else 10
+    if num_instances is None:
+        num_instances = 20 if is_paper_scale() else 3
+    return [make_problem("maxcut", n, seed=seed + i) for i in range(num_instances)]

@@ -1,0 +1,226 @@
+"""Gate definitions for the circuit-simulator substrate.
+
+The paper's performance comparison (Fig. 4) pits the direct linear-algebra
+simulator against packages that *compose QAOA circuits and hand them to
+general-purpose simulators* (QAOAKit → Qiskit, QAOA.jl → Yao.jl).  To
+reproduce that comparison without those external packages, this subpackage
+implements the circuit substrate itself: a small gate set sufficient for QAOA
+circuits (state preparation, cost layers, mixer layers) plus generic one- and
+two-qubit unitaries.
+
+A :class:`Gate` is a name, the qubits it acts on and its dense matrix in the
+convention that qubit order within the matrix matches the order of
+``gate.qubits`` (least-significant listed first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "identity",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "phase",
+    "rx",
+    "ry",
+    "rz",
+    "cnot",
+    "cz",
+    "swap",
+    "rzz",
+    "rxx",
+    "xy_rotation",
+    "global_phase",
+    "diagonal_gate",
+]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A quantum gate: display name, target qubits and its unitary matrix."""
+
+    name: str
+    qubits: tuple[int, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        qubits = tuple(int(q) for q in self.qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"gate {self.name} has duplicate target qubits {qubits}")
+        matrix = np.asarray(self.matrix, dtype=np.complex128)
+        expected = 1 << len(qubits)
+        if matrix.shape != (expected, expected):
+            raise ValueError(
+                f"gate {self.name} on {len(qubits)} qubit(s) needs a "
+                f"{expected}x{expected} matrix, got {matrix.shape}"
+            )
+        object.__setattr__(self, "qubits", qubits)
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return len(self.qubits)
+
+    def is_diagonal(self, atol: float = 1e-12) -> bool:
+        """Whether the gate matrix is diagonal (cheap to apply)."""
+        off_diag = self.matrix - np.diag(np.diag(self.matrix))
+        return bool(np.allclose(off_diag, 0.0, atol=atol))
+
+    def dagger(self) -> "Gate":
+        """The adjoint gate."""
+        return Gate(name=f"{self.name}†", qubits=self.qubits, matrix=self.matrix.conj().T)
+
+
+# ---------------------------------------------------------------------------
+# single-qubit gates
+# ---------------------------------------------------------------------------
+
+def identity(qubit: int) -> Gate:
+    """Identity gate (useful as a placeholder)."""
+    return Gate("I", (qubit,), np.eye(2))
+
+
+def hadamard(qubit: int) -> Gate:
+    """Hadamard gate."""
+    return Gate("H", (qubit,), np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2)
+
+
+def pauli_x(qubit: int) -> Gate:
+    """Pauli-X gate."""
+    return Gate("X", (qubit,), np.array([[0, 1], [1, 0]], dtype=np.complex128))
+
+
+def pauli_y(qubit: int) -> Gate:
+    """Pauli-Y gate."""
+    return Gate("Y", (qubit,), np.array([[0, -1j], [1j, 0]], dtype=np.complex128))
+
+
+def pauli_z(qubit: int) -> Gate:
+    """Pauli-Z gate."""
+    return Gate("Z", (qubit,), np.array([[1, 0], [0, -1]], dtype=np.complex128))
+
+
+def phase(qubit: int, theta: float) -> Gate:
+    """Phase gate ``diag(1, e^{i theta})``."""
+    return Gate("PHASE", (qubit,), np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=np.complex128))
+
+
+def rx(qubit: int, theta: float) -> Gate:
+    """X rotation ``exp(-i theta X / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return Gate("RX", (qubit,), np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128))
+
+
+def ry(qubit: int, theta: float) -> Gate:
+    """Y rotation ``exp(-i theta Y / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return Gate("RY", (qubit,), np.array([[c, -s], [s, c]], dtype=np.complex128))
+
+
+def rz(qubit: int, theta: float) -> Gate:
+    """Z rotation ``exp(-i theta Z / 2)``."""
+    return Gate(
+        "RZ",
+        (qubit,),
+        np.array(
+            [[np.exp(-1j * theta / 2.0), 0], [0, np.exp(1j * theta / 2.0)]],
+            dtype=np.complex128,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# two-qubit gates (matrix basis order: |q1 q0> with qubits=(q0, q1))
+# ---------------------------------------------------------------------------
+
+def cnot(control: int, target: int) -> Gate:
+    """Controlled-NOT.  ``qubits = (control, target)``."""
+    # Basis order |target control>? We fix qubits=(control, target) and order
+    # basis as |q1 q0> = |target control>: states 0b00,0b01,0b10,0b11 index
+    # (control + 2*target).  CNOT flips target when control=1.
+    mat = np.zeros((4, 4), dtype=np.complex128)
+    for control_bit in (0, 1):
+        for target_bit in (0, 1):
+            col = control_bit + 2 * target_bit
+            new_target = target_bit ^ control_bit
+            row = control_bit + 2 * new_target
+            mat[row, col] = 1.0
+    return Gate("CNOT", (control, target), mat)
+
+
+def cz(q0: int, q1: int) -> Gate:
+    """Controlled-Z (symmetric)."""
+    return Gate("CZ", (q0, q1), np.diag([1.0, 1.0, 1.0, -1.0]).astype(np.complex128))
+
+
+def swap(q0: int, q1: int) -> Gate:
+    """SWAP gate."""
+    mat = np.eye(4, dtype=np.complex128)[[0, 2, 1, 3]]
+    return Gate("SWAP", (q0, q1), mat)
+
+
+def rzz(q0: int, q1: int, theta: float) -> Gate:
+    """ZZ rotation ``exp(-i theta Z⊗Z / 2)`` (diagonal)."""
+    diag = np.exp(-1j * theta / 2.0 * np.array([1.0, -1.0, -1.0, 1.0]))
+    return Gate("RZZ", (q0, q1), np.diag(diag))
+
+
+def rxx(q0: int, q1: int, theta: float) -> Gate:
+    """XX rotation ``exp(-i theta X⊗X / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    mat = np.array(
+        [
+            [c, 0, 0, -1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [-1j * s, 0, 0, c],
+        ],
+        dtype=np.complex128,
+    )
+    return Gate("RXX", (q0, q1), mat)
+
+
+def xy_rotation(q0: int, q1: int, theta: float) -> Gate:
+    """``exp(-i theta (X⊗X + Y⊗Y))`` — the two-qubit block of the Clique/Ring mixers.
+
+    Acts as identity on |00> and |11> and as a rotation by ``2 theta`` in the
+    {|01>, |10>} subspace (the XY term has eigenvalues ±2 there).
+    """
+    c, s = np.cos(2.0 * theta), np.sin(2.0 * theta)
+    mat = np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=np.complex128,
+    )
+    return Gate("XY", (q0, q1), mat)
+
+
+# ---------------------------------------------------------------------------
+# special gates
+# ---------------------------------------------------------------------------
+
+def global_phase(phi: float) -> Gate:
+    """Global phase ``e^{i phi}`` recorded as a zero-qubit gate."""
+    return Gate("GPHASE", (), np.array([[np.exp(1j * phi)]], dtype=np.complex128))
+
+
+def diagonal_gate(qubits: tuple[int, ...], diagonal: np.ndarray, name: str = "DIAG") -> Gate:
+    """A diagonal gate given by its diagonal entries over the listed qubits."""
+    diagonal = np.asarray(diagonal, dtype=np.complex128)
+    expected = 1 << len(qubits)
+    if diagonal.shape != (expected,):
+        raise ValueError(f"diagonal must have length {expected}, got {diagonal.shape}")
+    return Gate(name, tuple(qubits), np.diag(diagonal))

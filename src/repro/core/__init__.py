@@ -1,0 +1,45 @@
+"""The QAOA statevector engine: pre-computation, simulation, gradients."""
+
+from .ansatz import QAOAAnsatz
+from .gradients import (
+    EvaluationCounter,
+    finite_difference_gradient,
+    qaoa_finite_difference_gradient,
+    qaoa_gradient,
+    qaoa_value_and_gradient,
+)
+from .multiangle import multi_angle_schedule, num_multi_angles, pack_angles, unpack_angles
+from .precompute import PrecomputedCost, precompute_cost
+from .simulator import (
+    QAOAResult,
+    evolve_state,
+    expectation_value,
+    get_exp_value,
+    random_angles,
+    simulate,
+    split_angles,
+)
+from .workspace import Workspace
+
+__all__ = [
+    "QAOAAnsatz",
+    "EvaluationCounter",
+    "finite_difference_gradient",
+    "qaoa_finite_difference_gradient",
+    "qaoa_gradient",
+    "qaoa_value_and_gradient",
+    "multi_angle_schedule",
+    "num_multi_angles",
+    "pack_angles",
+    "unpack_angles",
+    "PrecomputedCost",
+    "precompute_cost",
+    "QAOAResult",
+    "evolve_state",
+    "expectation_value",
+    "get_exp_value",
+    "random_angles",
+    "simulate",
+    "split_angles",
+    "Workspace",
+]

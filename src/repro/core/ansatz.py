@@ -1,0 +1,202 @@
+"""High-level QAOA ansatz object.
+
+:class:`QAOAAnsatz` bundles everything that defines one QAOA — the
+pre-computed objective values, the mixer schedule, the initial state and the
+optimization sense — behind the small callable surface the angle-finding
+optimizers need: ``expectation(angles)``, ``gradient(angles)`` and
+``simulate(angles)``.  A single pre-allocated workspace is reused across every
+call, which is where the "functionally zero overhead" repeated evaluation of
+the paper comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..mixers.base import Mixer
+from ..mixers.schedules import MixerSchedule
+from .gradients import EvaluationCounter, qaoa_finite_difference_gradient, qaoa_value_and_gradient
+from .precompute import PrecomputedCost
+from .simulator import QAOAResult, expectation_value, simulate
+from .workspace import Workspace
+
+__all__ = ["QAOAAnsatz"]
+
+
+class QAOAAnsatz:
+    """A fixed-(cost, mixer, p) QAOA exposing value / gradient / simulate calls.
+
+    Parameters
+    ----------
+    obj_vals:
+        Objective values over the feasible space (array or
+        :class:`~repro.core.precompute.PrecomputedCost`).
+    mixer:
+        A mixer, list of per-round mixers, or :class:`MixerSchedule`.
+    p:
+        Number of rounds (required unless a schedule / mixer list fixes it).
+    initial_state:
+        Optional custom initial state (warm starts).
+    maximize:
+        Whether the underlying problem is a maximization (default True).
+    """
+
+    def __init__(
+        self,
+        obj_vals: np.ndarray | PrecomputedCost,
+        mixer: Mixer | Sequence[Mixer] | MixerSchedule,
+        p: int | None = None,
+        *,
+        initial_state: np.ndarray | None = None,
+        maximize: bool = True,
+    ):
+        if isinstance(mixer, MixerSchedule):
+            schedule = mixer
+        elif isinstance(mixer, Mixer):
+            if p is None:
+                raise ValueError("p must be given when a single mixer is supplied")
+            schedule = MixerSchedule(mixer, rounds=p)
+        else:
+            schedule = MixerSchedule(mixer, rounds=p)
+        self.schedule = schedule
+
+        if isinstance(obj_vals, PrecomputedCost):
+            self.cost = obj_vals
+        else:
+            self.cost = PrecomputedCost(
+                values=np.asarray(obj_vals, dtype=np.float64),
+                space=schedule.space,
+                maximize=maximize,
+            )
+        if self.cost.dim != schedule.dim:
+            raise ValueError(
+                f"objective values (dim {self.cost.dim}) do not match the mixer space "
+                f"(dim {schedule.dim})"
+            )
+
+        if initial_state is not None:
+            initial_state = np.asarray(initial_state, dtype=np.complex128)
+            if initial_state.shape != (schedule.dim,):
+                raise ValueError(
+                    f"initial state has shape {initial_state.shape}, expected ({schedule.dim},)"
+                )
+            norm = np.linalg.norm(initial_state)
+            if not np.isclose(norm, 1.0):
+                if norm == 0:
+                    raise ValueError("initial state must be non-zero")
+                initial_state = initial_state / norm
+        self.initial_state = initial_state
+        self.maximize = bool(maximize)
+        self.workspace = Workspace(schedule.dim)
+        #: evaluation bookkeeping shared by value and gradient calls
+        self.counter = EvaluationCounter()
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of QAOA rounds."""
+        return self.schedule.p
+
+    @property
+    def num_angles(self) -> int:
+        """Length of the flat angle vector (betas then gammas)."""
+        return self.schedule.total_betas + self.schedule.p
+
+    @property
+    def n(self) -> int:
+        """Number of qubits."""
+        return self.schedule.space.n
+
+    def random_angles(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Uniformly random angles in ``[0, 2 pi)`` with the right length."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        return 2.0 * np.pi * rng.random(self.num_angles)
+
+    # ------------------------------------------------------------------
+    def expectation(self, angles: np.ndarray) -> float:
+        """``<C>`` at the given angles."""
+        self.counter.forward_passes += 1
+        return expectation_value(
+            angles,
+            self.schedule,
+            self.cost.values,
+            initial_state=self.initial_state,
+            workspace=self.workspace,
+        )
+
+    def value_and_gradient(self, angles: np.ndarray) -> tuple[float, np.ndarray]:
+        """Expectation value and exact adjoint-mode gradient."""
+        return qaoa_value_and_gradient(
+            angles,
+            self.schedule,
+            self.cost.values,
+            initial_state=self.initial_state,
+            workspace=self.workspace,
+            counter=self.counter,
+        )
+
+    def gradient(self, angles: np.ndarray) -> np.ndarray:
+        """Exact adjoint-mode gradient of ``<C>``."""
+        return self.value_and_gradient(angles)[1]
+
+    def finite_difference_gradient(self, angles: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+        """Finite-difference gradient (the slow baseline of Fig. 5)."""
+        return qaoa_finite_difference_gradient(
+            angles,
+            self.schedule,
+            self.cost.values,
+            initial_state=self.initial_state,
+            workspace=self.workspace,
+            eps=eps,
+            counter=self.counter,
+        )
+
+    def simulate(self, angles: np.ndarray) -> QAOAResult:
+        """Full simulation returning a :class:`~repro.core.simulator.QAOAResult`."""
+        return simulate(
+            angles,
+            self.schedule,
+            self.cost,
+            initial_state=self.initial_state,
+            workspace=self.workspace,
+            maximize=self.maximize,
+        )
+
+    # -- objective wrappers for minimizers ---------------------------------
+    def loss(self, angles: np.ndarray) -> float:
+        """Scalar to *minimize*: ``-<C>`` for maximization problems, ``<C>`` otherwise."""
+        value = self.expectation(angles)
+        return -value if self.maximize else value
+
+    def loss_and_gradient(self, angles: np.ndarray) -> tuple[float, np.ndarray]:
+        """Loss and its gradient (signs handled consistently with :meth:`loss`)."""
+        value, grad = self.value_and_gradient(angles)
+        if self.maximize:
+            return -value, -grad
+        return value, grad
+
+    def with_rounds(self, p: int) -> "QAOAAnsatz":
+        """A new ansatz identical to this one but with ``p`` rounds.
+
+        Only valid when every round uses the same mixer (the common case for
+        the iterative angle-finding scheme).
+        """
+        mixers = set(id(m) for m in self.schedule.layers)
+        if len(mixers) != 1:
+            raise ValueError("with_rounds requires a schedule with a single repeated mixer")
+        return QAOAAnsatz(
+            self.cost,
+            self.schedule.layers[0],
+            p,
+            initial_state=self.initial_state,
+            maximize=self.maximize,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QAOAAnsatz(n={self.n}, dim={self.schedule.dim}, p={self.p}, "
+            f"maximize={self.maximize})"
+        )

@@ -1,0 +1,330 @@
+"""Exact statevector simulation of the Quantum Alternating Operator Ansatz.
+
+This module is the package's core: given pre-computed objective values over a
+feasible space and a pre-diagonalized mixer (or per-round mixer schedule), it
+evolves
+
+    |beta, gamma> = e^{-i beta_p H_M} e^{-i gamma_p H_C} ... e^{-i beta_1 H_M} e^{-i gamma_1 H_C} |psi0>
+
+and exposes the expectation value ``<beta,gamma| C |beta,gamma>``, per-state
+amplitudes and the probability of measuring an optimal state, mirroring the
+``simulate`` / ``get_exp_value`` API of the paper's Listing 1.
+
+Each round is a diagonal phase multiply (the phase separator never needs a
+matrix) followed by one mixer application; all buffers can be supplied through
+a :class:`~repro.core.workspace.Workspace` so that repeated calls inside the
+angle-finding loop allocate nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..mixers.base import Mixer
+from ..mixers.schedules import MixerSchedule
+from .precompute import PrecomputedCost
+from .workspace import Workspace
+
+__all__ = [
+    "QAOAResult",
+    "split_angles",
+    "evolve_state",
+    "simulate",
+    "get_exp_value",
+    "expectation_value",
+    "random_angles",
+]
+
+
+# ---------------------------------------------------------------------------
+# angles layout
+# ---------------------------------------------------------------------------
+
+def split_angles(angles: np.ndarray, schedule: MixerSchedule) -> tuple[list[np.ndarray], np.ndarray]:
+    """Split a flat angle vector into per-round betas and the gamma vector.
+
+    The layout follows the paper's Listing 1: the first block holds the mixer
+    angles (betas), the second block the phase-separator angles (gammas).  For
+    plain mixers the beta block has length ``p``; multi-angle layers consume
+    one beta per term.
+    """
+    angles = np.asarray(angles, dtype=np.float64).ravel()
+    total = schedule.total_betas + schedule.p
+    if angles.size != total:
+        raise ValueError(
+            f"expected {total} angles ({schedule.total_betas} betas + {schedule.p} gammas), "
+            f"got {angles.size}"
+        )
+    betas = schedule.split_betas(angles[: schedule.total_betas])
+    gammas = angles[schedule.total_betas :]
+    return betas, gammas
+
+
+def random_angles(
+    p: int, rng: np.random.Generator | int | None = None, *, num_betas: int | None = None
+) -> np.ndarray:
+    """Uniformly random angles in ``[0, 2 pi)`` in the flat (betas, gammas) layout."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if num_betas is None:
+        num_betas = p
+    return 2.0 * np.pi * rng.random(num_betas + p)
+
+
+# ---------------------------------------------------------------------------
+# result object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QAOAResult:
+    """Output of one QAOA statevector simulation.
+
+    Stores the final statevector together with the objective values it was
+    evolved under, so that expectation values, per-state amplitudes and
+    ground-state (optimal-state) probabilities can all be extracted without
+    re-simulating — the behaviour of the special object returned by the
+    paper's ``simulate()``.
+    """
+
+    statevector: np.ndarray
+    cost: PrecomputedCost
+    angles: np.ndarray
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    # -- core quantities -------------------------------------------------
+    def expectation(self) -> float:
+        """``<psi| C |psi>`` — the quantity the angle-finding loop optimizes."""
+        if "expectation" not in self._cache:
+            probs = self.probabilities()
+            self._cache["expectation"] = float(np.dot(probs, self.cost.values))
+        return self._cache["expectation"]
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities ``|psi_x|^2`` over the feasible space."""
+        if "probabilities" not in self._cache:
+            self._cache["probabilities"] = np.abs(self.statevector) ** 2
+        return self._cache["probabilities"]
+
+    def amplitudes(self) -> np.ndarray:
+        """The complex amplitudes (a copy, so callers cannot corrupt the result)."""
+        return self.statevector.copy()
+
+    def amplitude_of(self, label: int) -> complex:
+        """Amplitude of the feasible state with full-space label ``label``."""
+        if self.cost.space is None:
+            raise ValueError("amplitude_of requires the feasible space to be attached")
+        return complex(self.statevector[self.cost.space.index_of(label)])
+
+    def ground_state_probability(self) -> float:
+        """Total probability of measuring an optimal (best objective) state."""
+        if "gs_prob" not in self._cache:
+            idx = self.cost.optimal_indices()
+            self._cache["gs_prob"] = float(self.probabilities()[idx].sum())
+        return self._cache["gs_prob"]
+
+    def approximation_ratio(self) -> float:
+        """Expectation divided by the optimum (meaningful for positive maximization objectives)."""
+        opt = self.cost.optimum
+        if opt == 0:
+            raise ZeroDivisionError("optimum objective value is zero")
+        return self.expectation() / opt
+
+    def norm(self) -> float:
+        """Norm of the statevector (should be 1 up to round-off)."""
+        return float(np.linalg.norm(self.statevector))
+
+    # -- sampling ----------------------------------------------------------
+    def sample(self, shots: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw measurement outcomes; returns full-space labels when available,
+        otherwise subspace indices."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        indices = rng.choice(len(probs), size=shots, p=probs)
+        if self.cost.space is not None:
+            return self.cost.space.labels[indices]
+        return indices
+
+    @property
+    def p(self) -> int:
+        """Number of QAOA rounds the angles describe (best effort for multi-angle)."""
+        return int(self._cache.get("p", len(self.angles) // 2))
+
+
+# ---------------------------------------------------------------------------
+# evolution
+# ---------------------------------------------------------------------------
+
+def _as_schedule(mixer: Mixer | Sequence[Mixer] | MixerSchedule, p: int) -> MixerSchedule:
+    if isinstance(mixer, MixerSchedule):
+        return mixer
+    return MixerSchedule(mixer, rounds=p)
+
+
+def _as_cost(obj_vals, space) -> PrecomputedCost:
+    if isinstance(obj_vals, PrecomputedCost):
+        return obj_vals
+    return PrecomputedCost(values=np.asarray(obj_vals, dtype=np.float64), space=space)
+
+
+def evolve_state(
+    betas: Sequence[np.ndarray] | np.ndarray,
+    gammas: np.ndarray,
+    schedule: MixerSchedule,
+    cost_values: np.ndarray,
+    initial_state: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+    layer_store: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply ``p`` QAOA rounds to ``initial_state`` and return the final state.
+
+    ``betas`` is a per-round list (each entry a scalar array, or a vector for
+    multi-angle layers); ``gammas`` is the length-``p`` phase-separator angle
+    vector.  If ``layer_store`` (shape ``(p, 2, dim)``) is given, the state
+    after each phase separator and after each mixer is recorded — this is what
+    the analytic gradient consumes.
+    """
+    gammas = np.asarray(gammas, dtype=np.float64).ravel()
+    if len(gammas) != schedule.p:
+        raise ValueError(f"expected {schedule.p} gamma angles, got {len(gammas)}")
+    if isinstance(betas, np.ndarray) and betas.ndim == 1 and len(betas) == schedule.p:
+        betas = [np.atleast_1d(b) for b in betas]
+    if len(betas) != schedule.p:
+        raise ValueError(f"expected {schedule.p} beta entries, got {len(betas)}")
+
+    dim = schedule.dim
+    cost_values = np.asarray(cost_values, dtype=np.float64)
+    if cost_values.shape != (dim,):
+        raise ValueError(
+            f"objective values have shape {cost_values.shape}, expected ({dim},)"
+        )
+
+    if workspace is None:
+        workspace = Workspace(dim)
+    elif not workspace.compatible_with(dim):
+        raise ValueError(
+            f"workspace dimension {workspace.dim} does not match simulation dimension {dim}"
+        )
+
+    psi = workspace.load_state(np.asarray(initial_state, dtype=np.complex128))
+    for round_index, (mixer, beta_k, gamma_k) in enumerate(zip(schedule, betas, gammas)):
+        # Phase separator: diagonal in the computational basis by construction.
+        psi *= np.exp(-1j * gamma_k * cost_values)
+        if layer_store is not None:
+            layer_store[round_index, 0, :] = psi
+        beta_arg = float(beta_k[0]) if np.size(beta_k) == 1 else np.asarray(beta_k)
+        mixer.apply(psi, beta_arg, out=psi)
+        if layer_store is not None:
+            layer_store[round_index, 1, :] = psi
+    return psi
+
+
+def simulate(
+    angles: np.ndarray,
+    mixer: Mixer | Sequence[Mixer] | MixerSchedule,
+    obj_vals: np.ndarray | PrecomputedCost,
+    *,
+    p: int | None = None,
+    initial_state: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+    maximize: bool = True,
+) -> QAOAResult:
+    """Simulate a ``p``-round QAOA and return a :class:`QAOAResult`.
+
+    Parameters
+    ----------
+    angles:
+        Flat angle vector: mixer angles (betas) first, then phase-separator
+        angles (gammas), matching the paper's Listing 1.
+    mixer:
+        A single mixer (reused every round), a per-round list of mixers, or a
+        pre-built :class:`~repro.mixers.schedules.MixerSchedule`.
+    obj_vals:
+        Objective values over the feasible space (array or
+        :class:`~repro.core.precompute.PrecomputedCost`).
+    p:
+        Number of rounds.  May be omitted when it can be inferred: it is taken
+        from a schedule/mixer list, else from ``len(angles) // 2``.
+    initial_state:
+        Optional initial statevector (defaults to the mixer's uniform
+        superposition over the feasible space; pass e.g. a warm start here).
+    workspace:
+        Optional pre-allocated :class:`~repro.core.workspace.Workspace`.
+    maximize:
+        Recorded on the result's cost object (used for optimal-state queries).
+    """
+    angles = np.asarray(angles, dtype=np.float64).ravel()
+    if isinstance(mixer, MixerSchedule):
+        schedule = mixer
+    elif isinstance(mixer, Mixer):
+        if p is None:
+            if angles.size % 2:
+                raise ValueError(
+                    "cannot infer p from an odd-length angle vector; pass p explicitly"
+                )
+            p = angles.size // 2
+        schedule = MixerSchedule(mixer, rounds=p)
+    else:
+        schedule = MixerSchedule(mixer, rounds=p)
+
+    if isinstance(obj_vals, PrecomputedCost):
+        cost = obj_vals
+        if cost.maximize != maximize:
+            cost = PrecomputedCost(
+                values=cost.values.copy(), space=cost.space, maximize=maximize
+            )
+    else:
+        cost = PrecomputedCost(
+            values=np.asarray(obj_vals, dtype=np.float64),
+            space=schedule.space,
+            maximize=maximize,
+        )
+
+    betas, gammas = split_angles(angles, schedule)
+    if initial_state is None:
+        initial_state = schedule.initial_state()
+    psi = evolve_state(
+        betas, gammas, schedule, cost.values, initial_state, workspace=workspace
+    )
+    result = QAOAResult(statevector=psi.copy(), cost=cost, angles=angles.copy())
+    result._cache["p"] = schedule.p
+    return result
+
+
+def get_exp_value(result: QAOAResult) -> float:
+    """Expectation value of a result (mirrors the paper's ``get_exp_value``)."""
+    return result.expectation()
+
+
+def expectation_value(
+    angles: np.ndarray,
+    mixer: Mixer | Sequence[Mixer] | MixerSchedule,
+    obj_vals: np.ndarray | PrecomputedCost,
+    *,
+    p: int | None = None,
+    initial_state: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+) -> float:
+    """Fast path returning only ``<C>`` (what the angle-finding inner loop calls)."""
+    angles = np.asarray(angles, dtype=np.float64).ravel()
+    if isinstance(mixer, MixerSchedule):
+        schedule = mixer
+    elif isinstance(mixer, Mixer):
+        if p is None:
+            p = angles.size // 2
+        schedule = MixerSchedule(mixer, rounds=p)
+    else:
+        schedule = MixerSchedule(mixer, rounds=p)
+    values = obj_vals.values if isinstance(obj_vals, PrecomputedCost) else np.asarray(obj_vals, dtype=np.float64)
+    betas, gammas = split_angles(angles, schedule)
+    if initial_state is None:
+        initial_state = schedule.initial_state()
+    psi = evolve_state(betas, gammas, schedule, values, initial_state, workspace=workspace)
+    return float(np.real(np.vdot(psi, values * psi)))

@@ -1,0 +1,66 @@
+"""Pre-allocated simulation buffers.
+
+The paper emphasizes (Sec. 2.2) that the statevector simulation pre-allocates
+and re-uses memory so that repeated expectation-value evaluations inside the
+angle-finding loop have "functionally zero overhead".  :class:`Workspace`
+holds the complex buffers one simulation needs (the evolving state, a scratch
+vector for basis changes, and the per-layer storage the adjoint gradient
+wants) and hands them out without re-allocating across calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Reusable complex buffers for statevector simulation of a fixed dimension."""
+
+    def __init__(self, dim: int, store_layers: int = 0):
+        if dim < 1:
+            raise ValueError("workspace dimension must be positive")
+        self.dim = int(dim)
+        #: the evolving statevector
+        self.state = np.empty(self.dim, dtype=np.complex128)
+        #: scratch buffer used by mixers and the adjoint pass
+        self.scratch = np.empty(self.dim, dtype=np.complex128)
+        #: second scratch buffer (adjoint state in gradient computation)
+        self.adjoint = np.empty(self.dim, dtype=np.complex128)
+        self._layer_store: np.ndarray | None = None
+        if store_layers:
+            self.ensure_layers(store_layers)
+        #: number of simulator calls served by this workspace (for tests/benchmarks)
+        self.calls_served = 0
+
+    def ensure_layers(self, layers: int) -> np.ndarray:
+        """Return a ``(layers, 2, dim)`` buffer for per-layer forward states.
+
+        Slot ``[k, 0]`` stores the state after the phase separator of round
+        ``k`` and slot ``[k, 1]`` the state after the mixer of round ``k``;
+        both are needed by the analytic gradient.  The buffer is grown (never
+        shrunk) as needed and reused across calls.
+        """
+        if layers < 0:
+            raise ValueError("layer count must be non-negative")
+        if self._layer_store is None or self._layer_store.shape[0] < layers:
+            self._layer_store = np.empty((layers, 2, self.dim), dtype=np.complex128)
+        return self._layer_store
+
+    def load_state(self, psi: np.ndarray) -> np.ndarray:
+        """Copy ``psi`` into the workspace's state buffer and return the buffer."""
+        psi = np.asarray(psi)
+        if psi.shape != (self.dim,):
+            raise ValueError(f"state has shape {psi.shape}, expected ({self.dim},)")
+        self.state[:] = psi
+        self.calls_served += 1
+        return self.state
+
+    def compatible_with(self, dim: int) -> bool:
+        """Whether this workspace can serve a simulation of dimension ``dim``."""
+        return self.dim == int(dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stored = 0 if self._layer_store is None else self._layer_store.shape[0]
+        return f"Workspace(dim={self.dim}, layer_slots={stored}, calls_served={self.calls_served})"

@@ -1,0 +1,31 @@
+"""Grover-mixer compressed simulation: distinct objective values + degeneracies."""
+
+from .compress import (
+    CompressedObjective,
+    binomial_spectrum,
+    compress_objective,
+    compress_streaming,
+    compress_streaming_dicke,
+    hamming_weight_spectrum,
+)
+from .simulate import (
+    CompressedGroverResult,
+    amplitudes_by_value,
+    grover_expectation,
+    grover_value_and_gradient,
+    simulate_grover_compressed,
+)
+
+__all__ = [
+    "CompressedObjective",
+    "binomial_spectrum",
+    "compress_objective",
+    "compress_streaming",
+    "compress_streaming_dicke",
+    "hamming_weight_spectrum",
+    "CompressedGroverResult",
+    "amplitudes_by_value",
+    "grover_expectation",
+    "grover_value_and_gradient",
+    "simulate_grover_compressed",
+]

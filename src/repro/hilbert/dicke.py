@@ -1,0 +1,139 @@
+"""Dicke (fixed Hamming weight) subspaces.
+
+Constrained problems such as Densest-k-Subgraph and Max-k-Vertex-Cover have a
+feasible set consisting of all ``n``-qubit states with exactly ``k`` ones.
+The equal superposition of those states is the Dicke state ``|D^n_k>``, which
+is the canonical QAOA initial state for Clique/Ring/Grover mixers on
+constrained problems (Sec. 2.1 of the paper).
+
+This module enumerates the subspace (via Gosper's hack), provides
+combinatorial ranking/unranking so that subspace indices can be mapped to and
+from full-space integer labels in ``O(n)`` time without enumeration, and
+builds Dicke statevectors in both the subspace and the full ``2^n``
+representation.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator
+
+import numpy as np
+
+from .bitops import gosper_iter, ints_to_bit_matrix
+
+__all__ = [
+    "dicke_dim",
+    "dicke_labels",
+    "dicke_states",
+    "dicke_state_matrix",
+    "dicke_statevector",
+    "dicke_statevector_full",
+    "rank_state",
+    "unrank_state",
+    "subspace_index_map",
+]
+
+
+def _check_nk(n: int, k: int) -> None:
+    if n < 0:
+        raise ValueError("number of qubits must be non-negative")
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+
+
+def dicke_dim(n: int, k: int) -> int:
+    """Dimension ``C(n, k)`` of the Hamming-weight-``k`` subspace."""
+    _check_nk(n, k)
+    return comb(n, k)
+
+
+def dicke_labels(n: int, k: int) -> np.ndarray:
+    """Integer labels of all weight-``k`` states of ``n`` qubits, ascending.
+
+    The returned order defines the canonical subspace index used throughout
+    the package: subspace index ``j`` refers to ``dicke_labels(n, k)[j]``.
+    """
+    _check_nk(n, k)
+    return np.fromiter(gosper_iter(n, k), dtype=np.int64, count=comb(n, k))
+
+
+def dicke_states(n: int, k: int) -> Iterator[np.ndarray]:
+    """Iterate over weight-``k`` basis states as 0/1 arrays (qubit 0 first).
+
+    Mirrors ``dicke_states(n, k)`` from Listing 2 of the paper.
+    """
+    _check_nk(n, k)
+    for label in gosper_iter(n, k):
+        yield np.array([(label >> i) & 1 for i in range(n)], dtype=np.int8)
+
+
+def dicke_state_matrix(n: int, k: int) -> np.ndarray:
+    """All weight-``k`` states as a ``(C(n,k), n)`` 0/1 matrix."""
+    return ints_to_bit_matrix(dicke_labels(n, k), n)
+
+
+def dicke_statevector(n: int, k: int, dtype=np.complex128) -> np.ndarray:
+    """Dicke state ``|D^n_k>`` expressed in the subspace basis (length ``C(n,k)``)."""
+    dim = dicke_dim(n, k)
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=dtype)
+
+
+def dicke_statevector_full(n: int, k: int, dtype=np.complex128) -> np.ndarray:
+    """Dicke state ``|D^n_k>`` embedded in the full ``2^n`` Hilbert space."""
+    _check_nk(n, k)
+    full = np.zeros(1 << n, dtype=dtype)
+    labels = dicke_labels(n, k)
+    full[labels] = 1.0 / np.sqrt(len(labels))
+    return full
+
+
+def rank_state(label: int, n: int, k: int) -> int:
+    """Subspace index of the weight-``k`` state ``label`` (combinatorial ranking).
+
+    Runs in ``O(n)`` using the combinatorial number system: among weight-``k``
+    words listed in ascending numeric order, the rank counts, bit by bit from
+    the most significant position, how many words are skipped when a bit is
+    set.
+    """
+    _check_nk(n, k)
+    if label < 0 or label >> n:
+        raise ValueError(f"label {label} does not fit in {n} bits")
+    if int(label).bit_count() != k:
+        raise ValueError(f"label {label} does not have Hamming weight {k}")
+    rank = 0
+    remaining = k
+    for bit in range(n - 1, -1, -1):
+        if remaining == 0:
+            break
+        if (label >> bit) & 1:
+            # All words with a 0 at this bit and `remaining` ones among the
+            # lower `bit` positions come before this word.
+            rank += comb(bit, remaining)
+            remaining -= 1
+    return rank
+
+
+def unrank_state(index: int, n: int, k: int) -> int:
+    """Inverse of :func:`rank_state`: the ``index``-th weight-``k`` state label."""
+    _check_nk(n, k)
+    dim = comb(n, k)
+    if not 0 <= index < dim:
+        raise ValueError(f"index {index} out of range for C({n},{k})={dim}")
+    label = 0
+    remaining = k
+    rank = index
+    for bit in range(n - 1, -1, -1):
+        if remaining == 0:
+            break
+        below = comb(bit, remaining)
+        if rank >= below:
+            label |= 1 << bit
+            rank -= below
+            remaining -= 1
+    return label
+
+
+def subspace_index_map(n: int, k: int) -> dict[int, int]:
+    """Dictionary mapping full-space labels to subspace indices."""
+    return {int(label): j for j, label in enumerate(dicke_labels(n, k))}

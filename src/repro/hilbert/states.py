@@ -1,0 +1,93 @@
+"""Enumeration of computational basis states.
+
+These helpers mirror the ``states(n)`` iterator of the original Julia package:
+cost functions are plain Python callables taking a 0/1 bit array, and the
+pre-computation step evaluates them across all feasible states.  For
+unconstrained problems the feasible set is the full ``2^n`` hypercube.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .bitops import ints_to_bit_matrix
+
+__all__ = [
+    "num_states",
+    "states",
+    "state_labels",
+    "state_matrix",
+    "uniform_superposition",
+    "basis_state",
+    "hamming_weights",
+]
+
+#: Hard cap on the number of qubits for dense enumeration; protects against
+#: accidental attempts to materialize 2^n arrays for huge n (the compressed
+#: Grover path in :mod:`repro.grover` is the intended route for those).
+MAX_DENSE_QUBITS = 30
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ValueError("number of qubits must be non-negative")
+    if n > MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"n={n} exceeds the dense-enumeration limit of {MAX_DENSE_QUBITS} qubits; "
+            "use the compressed Grover-mixer path for larger systems"
+        )
+
+
+def num_states(n: int) -> int:
+    """Dimension ``2^n`` of the full Hilbert space."""
+    if n < 0:
+        raise ValueError("number of qubits must be non-negative")
+    return 1 << n
+
+
+def states(n: int) -> Iterator[np.ndarray]:
+    """Iterate over all ``2^n`` basis states as 0/1 arrays (qubit 0 first).
+
+    Mirrors ``states(n)`` from Listing 1 of the paper.
+    """
+    _check_n(n)
+    for label in range(1 << n):
+        yield np.array([(label >> i) & 1 for i in range(n)], dtype=np.int8)
+
+
+def state_labels(n: int) -> np.ndarray:
+    """Integer labels ``0 .. 2^n - 1`` of all basis states."""
+    _check_n(n)
+    return np.arange(1 << n, dtype=np.int64)
+
+
+def state_matrix(n: int) -> np.ndarray:
+    """All basis states as a ``(2^n, n)`` 0/1 matrix (row ``i`` is state ``i``)."""
+    _check_n(n)
+    return ints_to_bit_matrix(state_labels(n), n)
+
+
+def hamming_weights(n: int) -> np.ndarray:
+    """Hamming weight of every basis state, as a length-``2^n`` array."""
+    _check_n(n)
+    return state_matrix(n).sum(axis=1).astype(np.int64)
+
+
+def uniform_superposition(n: int, dtype=np.complex128) -> np.ndarray:
+    """The uniform superposition ``|+>^{⊗n}`` as a statevector of length ``2^n``."""
+    _check_n(n)
+    dim = 1 << n
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=dtype)
+
+
+def basis_state(n: int, label: int, dtype=np.complex128) -> np.ndarray:
+    """The computational basis state ``|label>`` as a statevector."""
+    _check_n(n)
+    dim = 1 << n
+    if not 0 <= label < dim:
+        raise ValueError(f"label {label} out of range for {n} qubits")
+    psi = np.zeros(dim, dtype=dtype)
+    psi[label] = 1.0
+    return psi

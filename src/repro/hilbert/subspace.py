@@ -1,0 +1,162 @@
+"""Feasible-space abstraction.
+
+A QAOA in this package is always simulated over a *feasible space*: an ordered
+collection of computational basis states over which the cost function is
+evaluated and within which the mixer acts.  Unconstrained problems use the
+full hypercube; Hamming-weight-constrained problems use a Dicke subspace; any
+other constraint can be expressed by listing the feasible labels explicitly.
+
+The class exposes exactly what the simulator's pre-computation step needs:
+
+* ``labels`` — full-space integer labels in canonical order,
+* ``bits`` — the same states as a ``(dim, n)`` 0/1 matrix,
+* ``evaluate(cost)`` — the cost function evaluated across all feasible states,
+* ``initial_state()`` — the uniform superposition over the space (the default
+  QAOA starting state, per Sec. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .bitops import ints_to_bit_matrix
+from .dicke import dicke_labels
+from .states import state_labels
+
+__all__ = ["FeasibleSpace", "FullSpace", "DickeSpace", "CustomSpace"]
+
+
+@dataclass(frozen=True)
+class FeasibleSpace:
+    """An ordered set of feasible basis states of an ``n``-qubit register.
+
+    Parameters
+    ----------
+    n:
+        Number of qubits.
+    labels:
+        Full-space integer labels of the feasible states, in canonical order.
+    name:
+        Human-readable identifier used in caches and reprs.
+    hamming_weight:
+        If all feasible states share a Hamming weight, that weight; else None.
+    """
+
+    n: int
+    labels: np.ndarray
+    name: str = "custom"
+    hamming_weight: int | None = None
+    _bits_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array")
+        if labels.size == 0:
+            raise ValueError("a feasible space must contain at least one state")
+        if labels.min() < 0 or (self.n < 63 and labels.max() >= (1 << self.n)):
+            raise ValueError("labels out of range for the given number of qubits")
+        if len(np.unique(labels)) != len(labels):
+            raise ValueError("feasible-state labels must be unique")
+        object.__setattr__(self, "labels", labels)
+
+    # -- basic geometry -------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of feasible states."""
+        return int(self.labels.size)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether this space is the complete ``2^n`` hypercube."""
+        return self.dim == (1 << self.n)
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Feasible states as a ``(dim, n)`` 0/1 matrix (cached)."""
+        if "bits" not in self._bits_cache:
+            self._bits_cache["bits"] = ints_to_bit_matrix(self.labels, self.n)
+        return self._bits_cache["bits"]
+
+    # -- pre-computation hooks -------------------------------------------
+    def evaluate(self, cost: Callable[[np.ndarray], float]) -> np.ndarray:
+        """Evaluate ``cost`` on every feasible state; returns a float array.
+
+        ``cost`` receives a length-``n`` 0/1 array (qubit 0 first) and must
+        return a scalar, matching the cost-function convention of the paper's
+        Listing 1.
+        """
+        bits = self.bits
+        return np.array([float(cost(bits[i])) for i in range(self.dim)], dtype=np.float64)
+
+    def evaluate_vectorized(self, cost_vec: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Evaluate a vectorized cost ``cost_vec`` on the full bit matrix at once."""
+        vals = np.asarray(cost_vec(self.bits), dtype=np.float64)
+        if vals.shape != (self.dim,):
+            raise ValueError(
+                f"vectorized cost returned shape {vals.shape}, expected ({self.dim},)"
+            )
+        return vals
+
+    def initial_state(self, dtype=np.complex128) -> np.ndarray:
+        """Uniform superposition over the feasible states (subspace representation)."""
+        return np.full(self.dim, 1.0 / np.sqrt(self.dim), dtype=dtype)
+
+    # -- embeddings -------------------------------------------------------
+    def embed(self, psi_sub: np.ndarray) -> np.ndarray:
+        """Embed a subspace statevector into the full ``2^n`` Hilbert space."""
+        psi_sub = np.asarray(psi_sub)
+        if psi_sub.shape != (self.dim,):
+            raise ValueError(f"expected a length-{self.dim} subspace vector")
+        full = np.zeros(1 << self.n, dtype=np.result_type(psi_sub.dtype, np.complex128))
+        full[self.labels] = psi_sub
+        return full
+
+    def project(self, psi_full: np.ndarray) -> np.ndarray:
+        """Restrict a full-space statevector to the feasible subspace."""
+        psi_full = np.asarray(psi_full)
+        if psi_full.shape != (1 << self.n,):
+            raise ValueError(f"expected a length-{1 << self.n} full-space vector")
+        return psi_full[self.labels].copy()
+
+    def index_of(self, label: int) -> int:
+        """Subspace index of a full-space label (raises if infeasible)."""
+        idx = np.searchsorted(self.labels, label)
+        if idx >= self.dim or self.labels[idx] != label:
+            raise KeyError(f"state {label} is not in the feasible space")
+        return int(idx)
+
+    def __len__(self) -> int:
+        return self.dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, dim={self.dim}, name={self.name!r})"
+
+
+def FullSpace(n: int) -> FeasibleSpace:
+    """The unconstrained feasible space: all ``2^n`` basis states."""
+    return FeasibleSpace(n=n, labels=state_labels(n), name="full")
+
+
+def DickeSpace(n: int, k: int) -> FeasibleSpace:
+    """The Hamming-weight-``k`` feasible space (Dicke subspace)."""
+    return FeasibleSpace(
+        n=n,
+        labels=dicke_labels(n, k),
+        name=f"dicke_k{k}",
+        hamming_weight=k,
+    )
+
+
+def CustomSpace(n: int, labels: Sequence[int], name: str = "custom") -> FeasibleSpace:
+    """A feasible space given by an explicit list of state labels.
+
+    The labels are sorted into canonical ascending order.
+    """
+    labels = np.asarray(sorted(int(x) for x in labels), dtype=np.int64)
+    weights = {int(x).bit_count() for x in labels}
+    hw = weights.pop() if len(weights) == 1 else None
+    return FeasibleSpace(n=n, labels=labels, name=name, hamming_weight=hw)

@@ -1,0 +1,35 @@
+"""HPC-friendly helpers: state-space partitioning, multi-process pre-computation, memory accounting."""
+
+from .memory import (
+    dense_unitary_bytes,
+    eigendecomposition_bytes,
+    measure_peak_allocation,
+    rss_bytes,
+    simulator_memory_estimate,
+    statevector_bytes,
+)
+from .parallel import (
+    default_workers,
+    evaluate_chunk,
+    parallel_compress,
+    parallel_objective_values,
+)
+from .partition import Chunk, chunk_labels, split_dicke_space, split_full_space, split_range
+
+__all__ = [
+    "dense_unitary_bytes",
+    "eigendecomposition_bytes",
+    "measure_peak_allocation",
+    "rss_bytes",
+    "simulator_memory_estimate",
+    "statevector_bytes",
+    "default_workers",
+    "evaluate_chunk",
+    "parallel_compress",
+    "parallel_objective_values",
+    "Chunk",
+    "chunk_labels",
+    "split_dicke_space",
+    "split_full_space",
+    "split_range",
+]

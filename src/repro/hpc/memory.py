@@ -1,0 +1,115 @@
+"""Memory accounting helpers.
+
+Figure 4a of the paper reports both CPU time and *memory usage* as a function
+of qubit count for the different simulators.  These helpers provide the two
+measurements the benchmark harness uses:
+
+* analytic estimates (:func:`statevector_bytes`, :func:`eigendecomposition_bytes`,
+  :func:`simulator_memory_estimate`) — deterministic, hardware-independent,
+  and exactly what distinguishes the direct simulator (a handful of length-2^n
+  vectors) from a dense-unitary circuit simulator (2^n x 2^n matrices);
+* measured peaks (:func:`measure_peak_allocation`) via :mod:`tracemalloc`, and
+  the process RSS (:func:`rss_bytes`) for end-to-end numbers.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Callable
+
+__all__ = [
+    "statevector_bytes",
+    "eigendecomposition_bytes",
+    "dense_unitary_bytes",
+    "simulator_memory_estimate",
+    "measure_peak_allocation",
+    "rss_bytes",
+]
+
+_COMPLEX_BYTES = 16  # numpy complex128
+_FLOAT_BYTES = 8  # numpy float64
+
+
+def statevector_bytes(dim: int) -> int:
+    """Bytes of one complex128 statevector of dimension ``dim``."""
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    return dim * _COMPLEX_BYTES
+
+
+def eigendecomposition_bytes(dim: int, complex_vectors: bool = False) -> int:
+    """Bytes of a cached mixer eigendecomposition (``V`` plus its eigenvalues)."""
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    per_entry = _COMPLEX_BYTES if complex_vectors else _FLOAT_BYTES
+    return dim * dim * per_entry + dim * _FLOAT_BYTES
+
+
+def dense_unitary_bytes(dim: int) -> int:
+    """Bytes of one dense complex unitary of dimension ``dim`` (circuit-baseline cost)."""
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    return dim * dim * _COMPLEX_BYTES
+
+
+def simulator_memory_estimate(
+    n: int,
+    *,
+    kind: str = "direct",
+    subspace_dim: int | None = None,
+) -> int:
+    """Rough working-set estimate (bytes) for one QAOA simulation.
+
+    ``kind`` is one of:
+
+    * ``"direct"`` — this package's unconstrained path: statevector + scratch +
+      objective values + mixer diagonal,
+    * ``"direct_subspace"`` — the constrained path: subspace vectors plus the
+      dense ``V`` of the mixer eigendecomposition,
+    * ``"layer"`` — a per-layer dense-matrix circuit simulator (QAOA.jl-like),
+    * ``"dense"`` — a full dense-unitary circuit simulator (QAOAKit-like).
+    """
+    dim = 1 << n
+    if kind == "direct":
+        return 2 * statevector_bytes(dim) + 2 * dim * _FLOAT_BYTES
+    if kind == "direct_subspace":
+        if subspace_dim is None:
+            raise ValueError("subspace_dim is required for the constrained estimate")
+        return (
+            2 * statevector_bytes(subspace_dim)
+            + eigendecomposition_bytes(subspace_dim)
+            + subspace_dim * _FLOAT_BYTES
+        )
+    if kind == "layer":
+        return statevector_bytes(dim) + 2 * dense_unitary_bytes(dim)
+    if kind == "dense":
+        return statevector_bytes(dim) + 3 * dense_unitary_bytes(dim)
+    raise ValueError(f"unknown simulator kind {kind!r}")
+
+
+def measure_peak_allocation(func: Callable[[], object]) -> tuple[object, int]:
+    """Run ``func`` and return ``(result, peak allocated bytes)`` via tracemalloc.
+
+    Only Python/numpy heap allocations made while the tracer is active are
+    counted, which makes the number reproducible across machines (unlike RSS).
+    """
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def rss_bytes() -> int:
+    """Current resident set size of this process in bytes (0 if unavailable)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0

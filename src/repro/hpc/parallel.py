@@ -1,0 +1,132 @@
+"""Multi-process evaluation of objective values and degeneracy counts.
+
+This is the CPU analogue of the paper's "spread across many threads or GPUs"
+pre-computation: the feasible space is partitioned into chunks
+(:mod:`repro.hpc.partition`), each worker evaluates its chunk with the
+vectorized cost function, and the partial results are concatenated (objective
+vectors) or merged (compressed degeneracy spectra).
+
+Callables passed to the process pool must be picklable (module-level functions
+or :func:`functools.partial` of them).  ``processes=1`` short-circuits to a
+serial loop so the same code path works in restricted environments and in
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from multiprocessing import get_context
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..grover.compress import CompressedObjective, compress_objective
+from ..hilbert.bitops import ints_to_bit_matrix
+from .partition import Chunk, chunk_labels, split_dicke_space, split_full_space
+
+__all__ = [
+    "default_workers",
+    "evaluate_chunk",
+    "parallel_objective_values",
+    "parallel_compress",
+]
+
+
+def default_workers() -> int:
+    """Number of worker processes to use by default (``REPRO_WORKERS`` or CPU count)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def evaluate_chunk(
+    chunk: Chunk,
+    cost_vectorized: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    k: int | None = None,
+) -> np.ndarray:
+    """Objective values of a single chunk (runs inside a worker process)."""
+    labels = chunk_labels(chunk, n, k)
+    if labels.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    bits = ints_to_bit_matrix(labels, n)
+    return np.asarray(cost_vectorized(bits), dtype=np.float64)
+
+
+def _compress_chunk(
+    chunk: Chunk,
+    cost_vectorized: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    k: int | None = None,
+    decimals: int | None = None,
+) -> CompressedObjective:
+    vals = evaluate_chunk(chunk, cost_vectorized, n, k)
+    if vals.size == 0:
+        # An empty chunk contributes nothing; represent it as a zero-total sentinel.
+        return CompressedObjective(values=np.array([0.0]), degeneracies=(1,), total=1)
+    return compress_objective(vals, decimals=decimals)
+
+
+def _run_chunks(worker, chunks: Sequence[Chunk], processes: int):
+    if processes <= 1 or len(chunks) <= 1:
+        return [worker(chunk) for chunk in chunks]
+    try:
+        ctx = get_context("fork")
+    except ValueError:  # platforms without fork (e.g. Windows)
+        ctx = get_context()
+    with ctx.Pool(processes=min(processes, len(chunks))) as pool:
+        return pool.map(worker, chunks)
+
+
+def parallel_objective_values(
+    cost_vectorized: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    *,
+    k: int | None = None,
+    processes: int | None = None,
+) -> np.ndarray:
+    """Objective values over the full (or weight-``k``) space, computed across workers.
+
+    Returns the values in the canonical state order (ascending labels for the
+    full space, ascending weight-``k`` labels for Dicke spaces), matching what
+    the serial pre-computation would produce.
+    """
+    processes = default_workers() if processes is None else max(1, processes)
+    chunks = (
+        split_full_space(n, processes) if k is None else split_dicke_space(n, k, processes)
+    )
+    worker = partial(evaluate_chunk, cost_vectorized=cost_vectorized, n=n, k=k)
+    pieces = _run_chunks(worker, chunks, processes)
+    return np.concatenate([p for p in pieces if p.size]) if pieces else np.zeros(0)
+
+
+def parallel_compress(
+    cost_vectorized: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    *,
+    k: int | None = None,
+    processes: int | None = None,
+    decimals: int | None = None,
+) -> CompressedObjective:
+    """Distinct objective values + degeneracies computed across workers and merged.
+
+    This is the multi-worker degeneracy counting of Sec. 2.4: each worker
+    compresses its own chunk, and the partial spectra are merged without any
+    worker (or the parent) ever holding the full value vector.
+    """
+    processes = default_workers() if processes is None else max(1, processes)
+    chunks = (
+        split_full_space(n, processes) if k is None else split_dicke_space(n, k, processes)
+    )
+    chunks = [c for c in chunks if c.size > 0]
+    worker = partial(_compress_chunk, cost_vectorized=cost_vectorized, n=n, k=k, decimals=decimals)
+    pieces = _run_chunks(worker, chunks, processes)
+    merged = pieces[0]
+    for piece in pieces[1:]:
+        merged = merged.merge(piece)
+    return merged

@@ -1,0 +1,15 @@
+"""Persistence: mixer eigendecomposition caches, angle checkpoints, results."""
+
+from .cache import (
+    cached_eigendecomposition,
+    default_cache_dir,
+    load_eigendecomposition,
+    save_eigendecomposition,
+)
+
+__all__ = [
+    "cached_eigendecomposition",
+    "default_cache_dir",
+    "load_eigendecomposition",
+    "save_eigendecomposition",
+]

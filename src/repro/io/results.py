@@ -1,0 +1,63 @@
+"""Serialization of simulation results and benchmark tables."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.simulator import QAOAResult
+
+__all__ = ["result_to_dict", "save_result", "load_result_dict", "save_rows", "load_rows"]
+
+
+def result_to_dict(result: QAOAResult, *, include_statevector: bool = False) -> dict:
+    """JSON-serializable summary of a :class:`~repro.core.simulator.QAOAResult`."""
+    payload = {
+        "expectation": result.expectation(),
+        "ground_state_probability": result.ground_state_probability(),
+        "norm": result.norm(),
+        "p": result.p,
+        "angles": result.angles.tolist(),
+        "optimum": result.cost.optimum,
+        "dim": result.cost.dim,
+    }
+    if include_statevector:
+        payload["statevector_real"] = np.real(result.statevector).tolist()
+        payload["statevector_imag"] = np.imag(result.statevector).tolist()
+    return payload
+
+
+def save_result(path: str | Path, result: QAOAResult, *, include_statevector: bool = False) -> Path:
+    """Write a result summary to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result, include_statevector=include_statevector), handle, indent=2)
+    return path
+
+
+def load_result_dict(path: str | Path) -> dict:
+    """Load a result summary written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_rows(path: str | Path, rows: Sequence[dict]) -> Path:
+    """Write benchmark table rows (list of dicts) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, default=float)
+    return path
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Load benchmark table rows written by :func:`save_rows`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ValueError("expected a list of rows")
+    return data

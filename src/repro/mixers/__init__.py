@@ -1,0 +1,47 @@
+"""Mixer Hamiltonians, all pre-diagonalized for fast repeated application."""
+
+from .base import DiagonalizedMixer, Mixer
+from .grover import GroverMixer, grover_mixer, grover_mixer_dicke
+from .schedules import MixerSchedule
+from .unitary import FixedUnitaryMixer, HermitianMixer, is_hermitian, is_unitary
+from .xmixer import (
+    MultiAngleXMixer,
+    XMixer,
+    mixer_x,
+    transverse_field_mixer,
+    walsh_hadamard_transform,
+    x_term_diagonal,
+)
+from .xy import (
+    CliqueMixer,
+    RingMixer,
+    XYMixer,
+    mixer_clique,
+    mixer_ring,
+    xy_subspace_matrix,
+)
+
+__all__ = [
+    "DiagonalizedMixer",
+    "Mixer",
+    "GroverMixer",
+    "grover_mixer",
+    "grover_mixer_dicke",
+    "MixerSchedule",
+    "FixedUnitaryMixer",
+    "HermitianMixer",
+    "is_hermitian",
+    "is_unitary",
+    "MultiAngleXMixer",
+    "XMixer",
+    "mixer_x",
+    "transverse_field_mixer",
+    "walsh_hadamard_transform",
+    "x_term_diagonal",
+    "CliqueMixer",
+    "RingMixer",
+    "XYMixer",
+    "mixer_clique",
+    "mixer_ring",
+    "xy_subspace_matrix",
+]

@@ -1,0 +1,160 @@
+"""Mixer interface.
+
+A mixer in this package is a Hermitian operator ``H_M`` acting on a feasible
+space, exposed through exactly the operations the QAOA engine needs:
+
+* ``apply(psi, beta)`` — the unitary evolution ``exp(-i beta H_M) |psi>``,
+  implemented without ever forming the matrix exponential (the paper's core
+  trick: diagonalize once, then only diagonal phases plus basis changes are
+  needed per layer),
+* ``apply_hamiltonian(psi)`` — the plain matrix-vector product ``H_M |psi>``,
+  needed by the analytic (autodiff-equivalent) gradients,
+* ``initial_state()`` — the canonical QAOA starting state for this mixer
+  (uniform superposition over the feasible space, i.e. ``|+>^n`` or a Dicke
+  state), which is the highest-energy eigenstate of the standard mixers,
+* ``matrix()`` — a dense matrix representation for testing and for arbitrary
+  downstream use.
+
+All mixers are stateless with respect to the statevector: they may own
+pre-computed spectral data (created once, possibly loaded from a disk cache)
+but never mutate their inputs unless an explicit ``out`` buffer is provided.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..hilbert.subspace import FeasibleSpace
+
+__all__ = ["Mixer", "DiagonalizedMixer"]
+
+
+class Mixer(abc.ABC):
+    """Abstract base class for QAOA mixer Hamiltonians."""
+
+    #: The feasible space the mixer acts on.
+    space: FeasibleSpace
+
+    def __init__(self, space: FeasibleSpace):
+        self.space = space
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of qubits."""
+        return self.space.n
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the space the mixer acts on."""
+        return self.space.dim
+
+    # ------------------------------------------------------------------
+    # required operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
+        """Return ``exp(-i beta H_M) |psi>``.
+
+        ``psi`` is a complex statevector of length :attr:`dim` in the feasible
+        space's canonical basis order.  If ``out`` is given it is used as the
+        destination buffer (it may alias ``psi``); otherwise a new array is
+        returned.  ``psi`` itself is never modified unless it aliases ``out``.
+        """
+
+    @abc.abstractmethod
+    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Return ``H_M |psi>`` (used by analytic gradients)."""
+
+    @abc.abstractmethod
+    def matrix(self) -> np.ndarray:
+        """Dense ``dim x dim`` matrix of ``H_M`` in the feasible-space basis."""
+
+    # ------------------------------------------------------------------
+    # defaults
+    # ------------------------------------------------------------------
+    def initial_state(self, dtype=np.complex128) -> np.ndarray:
+        """Default QAOA initial state: uniform superposition over the space."""
+        return self.space.initial_state(dtype=dtype)
+
+    def apply_inverse(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
+        """Return ``exp(+i beta H_M) |psi>`` (the inverse evolution)."""
+        return self.apply(psi, -beta, out=out)
+
+    def cache_key(self) -> str:
+        """A string identifying the mixer's pre-computed data for disk caching."""
+        return f"{type(self).__name__}_n{self.n}_{self.space.name}"
+
+    def _check_state(self, psi: np.ndarray) -> np.ndarray:
+        psi = np.asarray(psi)
+        if psi.shape != (self.dim,):
+            raise ValueError(
+                f"statevector has shape {psi.shape}, expected ({self.dim},) for {self!r}"
+            )
+        return psi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, dim={self.dim})"
+
+
+class DiagonalizedMixer(Mixer):
+    """A mixer represented by an explicit eigendecomposition ``H_M = V D V^†``.
+
+    This is the general-purpose path of the paper's pre-computation step: the
+    decomposition is computed (or loaded from a cache) once, and every layer
+    application is two dense matrix-vector products plus a diagonal phase:
+
+        exp(-i beta H_M) |psi> = V exp(-i beta D) V^† |psi> .
+
+    Subclasses (Clique, Ring, arbitrary Hermitian mixers) provide the
+    eigenvectors ``V`` and eigenvalues ``D``.
+    """
+
+    def __init__(self, space: FeasibleSpace, eigenvalues: np.ndarray, eigenvectors: np.ndarray):
+        super().__init__(space)
+        eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+        eigenvectors = np.asarray(eigenvectors)
+        if eigenvalues.shape != (space.dim,):
+            raise ValueError(
+                f"eigenvalues have shape {eigenvalues.shape}, expected ({space.dim},)"
+            )
+        if eigenvectors.shape != (space.dim, space.dim):
+            raise ValueError(
+                f"eigenvectors have shape {eigenvectors.shape}, expected "
+                f"({space.dim}, {space.dim})"
+            )
+        self.eigenvalues = eigenvalues
+        self.eigenvectors = eigenvectors
+        # V^† is materialized once so each apply is two GEMVs, no conjugations.
+        self._eigenvectors_dag = eigenvectors.conj().T.copy()
+
+    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
+        psi = self._check_state(psi)
+        coeffs = self._eigenvectors_dag @ psi
+        coeffs *= np.exp(-1j * beta * self.eigenvalues)
+        result = self.eigenvectors @ coeffs
+        if out is None:
+            return result
+        out[:] = result
+        return out
+
+    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        psi = self._check_state(psi)
+        coeffs = self._eigenvectors_dag @ psi
+        coeffs *= self.eigenvalues
+        result = self.eigenvectors @ coeffs
+        if out is None:
+            return result
+        out[:] = result
+        return out
+
+    def matrix(self) -> np.ndarray:
+        return (self.eigenvectors * self.eigenvalues[None, :]) @ self._eigenvectors_dag
+
+    def spectral_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ``(eigenvalues, eigenvectors)`` pair."""
+        return self.eigenvalues, self.eigenvectors

@@ -1,0 +1,98 @@
+"""Cost functions ("phase separators") and workload generators."""
+
+from .densest_subgraph import (
+    densest_subgraph,
+    densest_subgraph_optimum,
+    densest_subgraph_values,
+)
+from .extra import (
+    ising_energy,
+    ising_energy_values,
+    max_independent_set,
+    max_independent_set_values,
+    number_partition,
+    number_partition_values,
+    qubo_value,
+    qubo_values,
+)
+from .graphs import (
+    adjacency_matrix,
+    complete_graph,
+    edge_array,
+    erdos_renyi,
+    graph_from_edges,
+    random_regular,
+    ring_graph,
+    validate_graph,
+)
+from .ksat import (
+    SatInstance,
+    count_satisfied,
+    ksat,
+    ksat_optimum,
+    ksat_values,
+    random_ksat,
+)
+from .maxcut import cut_edges, maxcut, maxcut_optimum, maxcut_values
+from .registry import PROBLEM_NAMES, ProblemInstance, make_problem
+from .threshold import ThresholdSchedule, threshold_cost, threshold_values
+from .vertex_cover import (
+    uncovered_edges,
+    vertex_cover,
+    vertex_cover_optimum,
+    vertex_cover_values,
+)
+from .weighted import (
+    edge_weights,
+    random_weighted_graph,
+    weighted_maxcut,
+    weighted_maxcut_optimum,
+    weighted_maxcut_values,
+)
+
+__all__ = [
+    "densest_subgraph",
+    "densest_subgraph_optimum",
+    "densest_subgraph_values",
+    "ising_energy",
+    "ising_energy_values",
+    "max_independent_set",
+    "max_independent_set_values",
+    "number_partition",
+    "number_partition_values",
+    "qubo_value",
+    "qubo_values",
+    "adjacency_matrix",
+    "complete_graph",
+    "edge_array",
+    "erdos_renyi",
+    "graph_from_edges",
+    "random_regular",
+    "ring_graph",
+    "validate_graph",
+    "SatInstance",
+    "count_satisfied",
+    "ksat",
+    "ksat_optimum",
+    "ksat_values",
+    "random_ksat",
+    "cut_edges",
+    "maxcut",
+    "maxcut_optimum",
+    "maxcut_values",
+    "PROBLEM_NAMES",
+    "ProblemInstance",
+    "make_problem",
+    "ThresholdSchedule",
+    "threshold_cost",
+    "threshold_values",
+    "uncovered_edges",
+    "vertex_cover",
+    "vertex_cover_optimum",
+    "vertex_cover_values",
+    "edge_weights",
+    "random_weighted_graph",
+    "weighted_maxcut",
+    "weighted_maxcut_optimum",
+    "weighted_maxcut_values",
+]

@@ -1,0 +1,185 @@
+"""Max-k-SAT cost functions and random instance generation.
+
+A k-SAT instance over ``n`` boolean variables is a conjunction of clauses,
+each a disjunction of ``k`` literals.  The Max-k-SAT objective of an
+assignment ``x`` counts satisfied clauses:
+
+    C(x) = #{ clauses c : at least one literal of c is true under x } .
+
+The paper's Figure 2 uses a random 3-SAT instance at clause density 6
+(``m = 6 n`` clauses) with the Grover mixer.
+
+Clause representation
+---------------------
+A clause is a tuple of signed, 1-based variable indices in the DIMACS
+convention: literal ``+v`` means variable ``v-1`` must be 1, ``-v`` means it
+must be 0.  1-based indices are used so that negation of variable 0 is
+representable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SatInstance",
+    "random_ksat",
+    "ksat",
+    "ksat_values",
+    "count_satisfied",
+    "ksat_optimum",
+]
+
+
+@dataclass(frozen=True)
+class SatInstance:
+    """A k-SAT instance: number of variables plus a list of clauses.
+
+    Attributes
+    ----------
+    n:
+        Number of boolean variables (qubits).
+    clauses:
+        Tuple of clauses; each clause is a tuple of non-zero signed 1-based
+        variable indices (DIMACS style).
+    """
+
+    n: int
+    clauses: tuple[tuple[int, ...], ...]
+    _arrays: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("a SAT instance needs at least one variable")
+        clauses = tuple(tuple(int(l) for l in clause) for clause in self.clauses)
+        for clause in clauses:
+            if len(clause) == 0:
+                raise ValueError("empty clauses are not allowed")
+            for lit in clause:
+                if lit == 0:
+                    raise ValueError("literal 0 is not allowed (DIMACS convention)")
+                if abs(lit) > self.n:
+                    raise ValueError(f"literal {lit} references a variable beyond n={self.n}")
+        object.__setattr__(self, "clauses", clauses)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    @property
+    def k(self) -> int:
+        """Clause width if uniform, else the maximum clause width."""
+        if not self.clauses:
+            return 0
+        return max(len(c) for c in self.clauses)
+
+    @property
+    def clause_density(self) -> float:
+        """Ratio of clauses to variables (the paper's Figure 2 uses density 6)."""
+        return self.num_clauses / self.n
+
+    def _literal_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Padded (variables, wanted-values) arrays for vectorized evaluation.
+
+        Returns ``vars_idx`` and ``wanted`` of shape ``(num_clauses, k_max)``;
+        padding entries repeat the clause's first literal (harmless for an OR).
+        """
+        if "literal_arrays" not in self._arrays:
+            kmax = self.k
+            vars_idx = np.zeros((self.num_clauses, kmax), dtype=np.int64)
+            wanted = np.zeros((self.num_clauses, kmax), dtype=np.int8)
+            for ci, clause in enumerate(self.clauses):
+                for j in range(kmax):
+                    lit = clause[j] if j < len(clause) else clause[0]
+                    vars_idx[ci, j] = abs(lit) - 1
+                    wanted[ci, j] = 1 if lit > 0 else 0
+            self._arrays["literal_arrays"] = (vars_idx, wanted)
+        return self._arrays["literal_arrays"]
+
+
+def random_ksat(
+    n: int,
+    k: int = 3,
+    clause_density: float = 6.0,
+    seed: int | None = None,
+    allow_duplicate_clauses: bool = True,
+) -> SatInstance:
+    """Generate a random k-SAT instance with ``round(clause_density * n)`` clauses.
+
+    Each clause selects ``k`` distinct variables uniformly at random and negates
+    each independently with probability 1/2, the standard random k-SAT model.
+    """
+    if k < 1 or k > n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if clause_density <= 0:
+        raise ValueError("clause density must be positive")
+    rng = np.random.default_rng(seed)
+    m = max(1, int(round(clause_density * n)))
+    clauses: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    attempts = 0
+    while len(clauses) < m:
+        attempts += 1
+        if attempts > 100 * m and not allow_duplicate_clauses:
+            raise RuntimeError("could not generate enough distinct clauses")
+        variables = rng.choice(n, size=k, replace=False)
+        signs = rng.integers(0, 2, size=k)
+        clause = tuple(
+            int((v + 1) * (1 if s else -1)) for v, s in zip(variables, signs)
+        )
+        clause = tuple(sorted(clause, key=abs))
+        if not allow_duplicate_clauses and clause in seen:
+            continue
+        seen.add(clause)
+        clauses.append(clause)
+    return SatInstance(n=n, clauses=tuple(clauses))
+
+
+def count_satisfied(instance: SatInstance, x: np.ndarray) -> int:
+    """Number of clauses of ``instance`` satisfied by the assignment ``x``."""
+    x = np.asarray(x)
+    if x.shape != (instance.n,):
+        raise ValueError(f"assignment has shape {x.shape}, expected ({instance.n},)")
+    satisfied = 0
+    for clause in instance.clauses:
+        for lit in clause:
+            value = x[abs(lit) - 1]
+            if (lit > 0 and value == 1) or (lit < 0 and value == 0):
+                satisfied += 1
+                break
+    return satisfied
+
+
+def ksat(instance: SatInstance, x: np.ndarray) -> float:
+    """Max-k-SAT objective: number of satisfied clauses (scalar API)."""
+    return float(count_satisfied(instance, x))
+
+
+def ksat_values(instance: SatInstance, bits: np.ndarray) -> np.ndarray:
+    """Vectorized Max-k-SAT objective over a ``(m, n)`` bit matrix."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2 or bits.shape[1] != instance.n:
+        raise ValueError(f"bit matrix has shape {bits.shape}, expected (*, {instance.n})")
+    vars_idx, wanted = instance._literal_arrays()
+    # satisfied[state, clause] = any literal matches its wanted value
+    lit_vals = bits[:, vars_idx]  # (states, clauses, k)
+    matches = lit_vals == wanted[None, :, :]
+    return matches.any(axis=2).sum(axis=1).astype(np.float64)
+
+
+def ksat_optimum(instance: SatInstance) -> float:
+    """Exact Max-k-SAT optimum by brute force (intended for n <~ 20)."""
+    n = instance.n
+    best = 0.0
+    chunk = 1 << min(n, 18)
+    shifts = np.arange(n, dtype=np.uint64)
+    for start in range(0, 1 << n, chunk):
+        block = np.arange(start, min(start + chunk, 1 << n), dtype=np.uint64)
+        bits = ((block[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.int8)
+        vals = ksat_values(instance, bits)
+        best = max(best, float(vals.max()))
+    return best

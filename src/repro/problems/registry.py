@@ -1,0 +1,172 @@
+"""Uniform problem descriptions and a name-based registry.
+
+The simulator itself only ever consumes a vector of pre-computed objective
+values over a feasible space (the paper's central design decision).  For the
+benchmark harness and examples it is convenient to bundle together a cost
+function, its vectorized form, the feasible space it is meant to be evaluated
+on and its brute-force optimum.  :class:`ProblemInstance` provides that
+bundle, and :func:`make_problem` builds the standard instances used in the
+paper's figures from a name plus a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+import numpy as np
+
+from ..hilbert.subspace import DickeSpace, FeasibleSpace, FullSpace
+from .densest_subgraph import densest_subgraph as _densest_subgraph
+from .densest_subgraph import densest_subgraph_values as _densest_subgraph_values
+from .graphs import erdos_renyi
+from .ksat import ksat as _ksat
+from .ksat import ksat_values as _ksat_values
+from .ksat import random_ksat as _random_ksat
+from .maxcut import maxcut as _maxcut
+from .maxcut import maxcut_values as _maxcut_values
+from .vertex_cover import vertex_cover as _vertex_cover
+from .vertex_cover import vertex_cover_values as _vertex_cover_values
+
+__all__ = ["ProblemInstance", "make_problem", "PROBLEM_NAMES"]
+
+PROBLEM_NAMES = ("maxcut", "ksat", "densest_subgraph", "vertex_cover")
+
+
+@dataclass
+class ProblemInstance:
+    """A concrete optimization problem instance ready for QAOA simulation.
+
+    Attributes
+    ----------
+    name:
+        Problem family name (e.g. ``"maxcut"``).
+    space:
+        The feasible space the objective is evaluated over.
+    cost:
+        Scalar cost function ``cost(x) -> float`` over 0/1 arrays.
+    cost_vectorized:
+        Vectorized cost over a ``(m, n)`` bit matrix.
+    maximize:
+        Whether the objective is to be maximized (all paper problems are).
+    metadata:
+        Free-form description of the instance (graph, clauses, seed, ...).
+    """
+
+    name: str
+    space: FeasibleSpace
+    cost: Callable[[np.ndarray], float]
+    cost_vectorized: Callable[[np.ndarray], np.ndarray]
+    maximize: bool = True
+    metadata: dict = field(default_factory=dict)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n(self) -> int:
+        """Number of qubits."""
+        return self.space.n
+
+    def objective_values(self) -> np.ndarray:
+        """Objective values across the feasible space (cached)."""
+        if "obj_vals" not in self._cache:
+            self._cache["obj_vals"] = self.space.evaluate_vectorized(self.cost_vectorized)
+        return self._cache["obj_vals"]
+
+    def optimum(self) -> float:
+        """Best objective value over the feasible space."""
+        vals = self.objective_values()
+        return float(vals.max() if self.maximize else vals.min())
+
+    def optimal_states(self) -> np.ndarray:
+        """Full-space labels of the optimal feasible states."""
+        vals = self.objective_values()
+        target = vals.max() if self.maximize else vals.min()
+        return self.space.labels[np.isclose(vals, target)]
+
+    def approximation_ratio(self, expectation: float) -> float:
+        """``expectation / optimum`` (for maximization problems with a positive optimum)."""
+        opt = self.optimum()
+        if opt == 0:
+            raise ZeroDivisionError("optimum is zero; approximation ratio undefined")
+        return float(expectation) / opt
+
+
+def make_problem(
+    name: str,
+    n: int,
+    seed: int = 0,
+    *,
+    k: int | None = None,
+    edge_probability: float = 0.5,
+    clause_density: float = 6.0,
+    sat_k: int = 3,
+) -> ProblemInstance:
+    """Construct one of the paper's benchmark problems.
+
+    Parameters
+    ----------
+    name:
+        One of ``"maxcut"``, ``"ksat"``, ``"densest_subgraph"``, ``"vertex_cover"``.
+    n:
+        Number of qubits (variables / vertices).
+    seed:
+        Seed for the random instance.
+    k:
+        Hamming-weight constraint for the constrained problems (defaults to n // 2,
+        matching the paper's k = 6 at n = 12).
+    edge_probability:
+        Erdos–Renyi edge probability (paper uses 0.5).
+    clause_density, sat_k:
+        Random SAT parameters (paper uses density 6, 3-SAT).
+    """
+    if name not in PROBLEM_NAMES:
+        raise ValueError(f"unknown problem {name!r}; choose from {PROBLEM_NAMES}")
+
+    if name == "maxcut":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemInstance(
+            name="maxcut",
+            space=FullSpace(n),
+            cost=lambda x, g=graph: _maxcut(g, x),
+            cost_vectorized=lambda bits, g=graph: _maxcut_values(g, bits),
+            metadata={"graph": graph, "seed": seed, "edge_probability": edge_probability},
+        )
+
+    if name == "ksat":
+        instance = _random_ksat(n, k=sat_k, clause_density=clause_density, seed=seed)
+        return ProblemInstance(
+            name="ksat",
+            space=FullSpace(n),
+            cost=lambda x, inst=instance: _ksat(inst, x),
+            cost_vectorized=lambda bits, inst=instance: _ksat_values(inst, bits),
+            metadata={
+                "instance": instance,
+                "seed": seed,
+                "clause_density": clause_density,
+                "k": sat_k,
+            },
+        )
+
+    if k is None:
+        k = n // 2
+
+    if name == "densest_subgraph":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemInstance(
+            name="densest_subgraph",
+            space=DickeSpace(n, k),
+            cost=lambda x, g=graph: _densest_subgraph(g, x),
+            cost_vectorized=lambda bits, g=graph: _densest_subgraph_values(g, bits),
+            metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
+        )
+
+    # vertex_cover
+    graph = erdos_renyi(n, edge_probability, seed=seed)
+    return ProblemInstance(
+        name="vertex_cover",
+        space=DickeSpace(n, k),
+        cost=lambda x, g=graph: _vertex_cover(g, x),
+        cost_vectorized=lambda bits, g=graph: _vertex_cover_values(g, bits),
+        metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
+    )

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hilbert import DickeSpace, FullSpace, state_matrix
+from repro.mixers import CliqueMixer, GroverMixer, RingMixer, transverse_field_mixer
+from repro.problems import densest_subgraph_values, erdos_renyi, maxcut_values
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph():
+    """A fixed 6-node Erdos–Renyi graph used across tests."""
+    return erdos_renyi(6, 0.5, seed=1)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A fixed 4-node Erdos–Renyi graph for dense cross-checks."""
+    return erdos_renyi(4, 0.6, seed=7)
+
+
+@pytest.fixture
+def maxcut_obj(small_graph):
+    """MaxCut objective values over the full 6-qubit space."""
+    return maxcut_values(small_graph, state_matrix(6))
+
+
+@pytest.fixture
+def dicke_space_63():
+    """The Hamming-weight-3 subspace of 6 qubits."""
+    return DickeSpace(6, 3)
+
+
+@pytest.fixture
+def dks_obj(small_graph, dicke_space_63):
+    """Densest-3-subgraph objective values over the 6-choose-3 subspace."""
+    return densest_subgraph_values(small_graph, dicke_space_63.bits)
+
+
+@pytest.fixture
+def tf_mixer_6():
+    """Transverse-field mixer on 6 qubits."""
+    return transverse_field_mixer(6)
+
+
+@pytest.fixture
+def grover_mixer_6():
+    """Grover mixer over the full 6-qubit space."""
+    return GroverMixer(FullSpace(6))
+
+
+@pytest.fixture
+def clique_mixer_63():
+    """Clique mixer on the (6, 3) Dicke subspace."""
+    return CliqueMixer(6, 3)
+
+
+@pytest.fixture
+def ring_mixer_63():
+    """Ring mixer on the (6, 3) Dicke subspace."""
+    return RingMixer(6, 3)
+
+
+def dense_qaoa_reference(obj_vals, mixer_matrix, initial, betas, gammas):
+    """Brute-force dense reference evolution used by correctness tests."""
+    import scipy.linalg as sla
+
+    psi = np.asarray(initial, dtype=np.complex128).copy()
+    for beta, gamma in zip(betas, gammas):
+        psi = np.exp(-1j * gamma * np.asarray(obj_vals)) * psi
+        psi = sla.expm(-1j * beta * mixer_matrix) @ psi
+    return psi
+
+
+@pytest.fixture
+def dense_reference():
+    """Expose the dense reference evolution helper as a fixture."""
+    return dense_qaoa_reference

@@ -1,0 +1,128 @@
+"""Tests for metrics, fair-sampling checks and convergence series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceSeries,
+    amplitude_spread_by_value,
+    approximation_ratio,
+    average_series,
+    ensemble_mean,
+    ensemble_summary,
+    expectation_from_probabilities,
+    is_fair_sampling,
+    normalized_approximation_ratio,
+    series_from_results,
+    success_probability,
+    value_class_probabilities,
+)
+from repro.angles.result import AngleResult
+from repro.core import random_angles, simulate
+from repro.hilbert import state_matrix
+from repro.mixers import GroverMixer, transverse_field_mixer
+from repro.hilbert import FullSpace
+from repro.problems import erdos_renyi, maxcut_values
+
+
+class TestMetrics:
+    def test_approximation_ratio(self):
+        assert approximation_ratio(3.0, 4.0) == 0.75
+        with pytest.raises(ZeroDivisionError):
+            approximation_ratio(1.0, 0.0)
+
+    def test_normalized_ratio_bounds(self):
+        assert normalized_approximation_ratio(5.0, 10.0, 0.0) == 0.5
+        assert normalized_approximation_ratio(10.0, 10.0, 0.0) == 1.0
+        assert normalized_approximation_ratio(2.0, 2.0, 2.0) == 1.0  # degenerate spread
+
+    def test_expectation_from_probabilities(self):
+        probs = np.array([0.25, 0.75])
+        vals = np.array([0.0, 4.0])
+        assert expectation_from_probabilities(probs, vals) == 3.0
+        with pytest.raises(ValueError):
+            expectation_from_probabilities(np.array([0.5]), vals)
+        with pytest.raises(ValueError):
+            expectation_from_probabilities(np.array([-0.1, 1.1]), vals)
+
+    def test_ensemble_statistics(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert ensemble_mean(values) == 2.5
+        summary = ensemble_summary(values)
+        assert summary["median"] == 2.5
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        with pytest.raises(ValueError):
+            ensemble_mean([])
+
+    def test_success_probability_alias(self, maxcut_obj, tf_mixer_6):
+        res = simulate(random_angles(2, rng=0), tf_mixer_6, maxcut_obj)
+        assert success_probability(res) == res.ground_state_probability()
+
+
+class TestFairSampling:
+    def test_grover_mixer_is_fair(self, small_graph):
+        obj = maxcut_values(small_graph, state_matrix(6))
+        res = simulate(random_angles(3, rng=1), GroverMixer(FullSpace(6)), obj)
+        assert is_fair_sampling(res)
+        spread = amplitude_spread_by_value(res.statevector, obj)
+        assert max(spread.values()) < 1e-10
+
+    def test_transverse_field_generally_not_fair(self, small_graph):
+        obj = maxcut_values(small_graph, state_matrix(6))
+        res = simulate(random_angles(3, rng=2), transverse_field_mixer(6), obj)
+        assert not is_fair_sampling(res)
+
+    def test_value_class_probabilities_sum_to_one(self, small_graph):
+        obj = maxcut_values(small_graph, state_matrix(6))
+        res = simulate(random_angles(2, rng=3), transverse_field_mixer(6), obj)
+        probs = value_class_probabilities(res)
+        assert np.isclose(sum(probs.values()), 1.0)
+        assert set(probs) == set(np.unique(obj))
+
+    def test_spread_shape_validation(self):
+        with pytest.raises(ValueError):
+            amplitude_spread_by_value(np.zeros(4), np.zeros(5))
+
+
+class TestConvergenceSeries:
+    def test_construction_and_final(self):
+        series = ConvergenceSeries(rounds=(1, 2, 3), values=(0.5, 0.7, 0.9), label="x")
+        assert series.final() == 0.9
+        assert series.is_monotone()
+        rows = series.as_rows()
+        assert len(rows) == 3 and rows[0]["p"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceSeries(rounds=(1, 2), values=(0.5,))
+        with pytest.raises(ValueError):
+            ConvergenceSeries(rounds=(2, 1), values=(0.5, 0.6))
+
+    def test_non_monotone_detection(self):
+        series = ConvergenceSeries(rounds=(1, 2), values=(0.9, 0.5))
+        assert not series.is_monotone()
+
+    def test_series_from_results_ratios(self):
+        results = {
+            1: AngleResult(angles=np.zeros(2), value=5.0, p=1),
+            2: AngleResult(angles=np.zeros(4), value=8.0, p=2),
+        }
+        series = series_from_results(results, optimum=10.0)
+        assert series.values == (0.5, 0.8)
+        normalized = series_from_results(results, optimum=10.0, worst=0.0)
+        assert normalized.values == (0.5, 0.8)
+        raw = series_from_results(results)
+        assert raw.values == (5.0, 8.0)
+
+    def test_average_series(self):
+        a = ConvergenceSeries(rounds=(1, 2), values=(0.4, 0.6))
+        b = ConvergenceSeries(rounds=(1, 2), values=(0.6, 0.8))
+        mean = average_series([a, b])
+        assert np.allclose(mean.values, [0.5, 0.7])
+        with pytest.raises(ValueError):
+            average_series([])
+        with pytest.raises(ValueError):
+            average_series([a, ConvergenceSeries(rounds=(1,), values=(0.1,))])

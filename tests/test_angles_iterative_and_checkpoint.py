@@ -1,0 +1,180 @@
+"""Tests for the iterative (extrapolated) angle finder and its checkpointing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.angles import AngleCheckpoint, AngleResult, extrapolate_angles, find_angles
+from repro.hilbert import DickeSpace, state_matrix
+from repro.mixers import CliqueMixer, GroverMixer, transverse_field_mixer
+from repro.hilbert import FullSpace
+from repro.problems import densest_subgraph_values, erdos_renyi, maxcut_values
+
+
+@pytest.fixture(scope="module")
+def maxcut_setup():
+    graph = erdos_renyi(6, 0.5, seed=1)
+    obj = maxcut_values(graph, state_matrix(6))
+    return obj, transverse_field_mixer(6)
+
+
+class TestExtrapolation:
+    def test_pad_repeats_last_angles(self):
+        angles = np.array([0.1, 0.2, 1.0, 2.0])  # p=2
+        extended = extrapolate_angles(angles, 2, 4, method="pad")
+        assert np.allclose(extended, [0.1, 0.2, 0.2, 0.2, 1.0, 2.0, 2.0, 2.0])
+
+    def test_interp_preserves_endpoints(self):
+        angles = np.array([0.1, 0.5, 1.0, 3.0])  # p=2
+        extended = extrapolate_angles(angles, 2, 5, method="interp")
+        betas, gammas = extended[:5], extended[5:]
+        assert np.isclose(betas[0], 0.1) and np.isclose(betas[-1], 0.5)
+        assert np.isclose(gammas[0], 1.0) and np.isclose(gammas[-1], 3.0)
+        # Interpolation is monotone between monotone endpoints.
+        assert np.all(np.diff(betas) >= -1e-12)
+
+    def test_interp_from_p1_repeats(self):
+        extended = extrapolate_angles(np.array([0.3, 0.9]), 1, 3, method="interp")
+        assert np.allclose(extended, [0.3, 0.3, 0.3, 0.9, 0.9, 0.9])
+
+    def test_same_p_is_identity(self):
+        angles = np.array([0.1, 0.2, 0.3, 0.4])
+        assert np.allclose(extrapolate_angles(angles, 2, 2), angles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extrapolate_angles(np.zeros(3), 2, 3)
+        with pytest.raises(ValueError):
+            extrapolate_angles(np.zeros(4), 2, 1)
+        with pytest.raises(ValueError):
+            extrapolate_angles(np.zeros(4), 2, 3, method="spline")
+
+
+class TestCheckpoint:
+    def test_store_and_get(self, tmp_path):
+        path = tmp_path / "angles.json"
+        checkpoint = AngleCheckpoint(path)
+        result = AngleResult(angles=np.array([0.1, 0.2]), value=2.0, p=1)
+        checkpoint.store(result)
+        assert path.exists()
+        assert 1 in checkpoint
+        assert checkpoint.last_round() == 1
+
+        reloaded = AngleCheckpoint(path)
+        restored = reloaded.get(1)
+        assert restored is not None
+        assert np.allclose(restored.angles, result.angles)
+        assert restored.value == 2.0
+
+    def test_none_path_is_memory_only(self):
+        checkpoint = AngleCheckpoint(None)
+        checkpoint.store(AngleResult(angles=np.zeros(2), value=0.0, p=1))
+        assert len(checkpoint) == 1
+
+    def test_rounds_sorted(self, tmp_path):
+        checkpoint = AngleCheckpoint(tmp_path / "c.json")
+        for p in (3, 1, 2):
+            checkpoint.store(AngleResult(angles=np.zeros(2 * p), value=float(p), p=p))
+        assert checkpoint.rounds() == [1, 2, 3]
+        assert checkpoint.last_round() == 3
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = tmp_path / "c.json"
+        AngleCheckpoint(path).store(AngleResult(angles=np.array([0.5]), value=1.0, p=1))
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert "1" in data["rounds"]
+
+    def test_rejects_unknown_format_version(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format_version": 99, "rounds": {}}))
+        with pytest.raises(ValueError):
+            AngleCheckpoint(path)
+
+    def test_missing_round_returns_none(self, tmp_path):
+        assert AngleCheckpoint(tmp_path / "x.json").get(5) is None
+
+
+class TestFindAngles:
+    def test_returns_every_round(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        results = find_angles(3, mixer, obj, n_hops=2, n_starts_p1=1, rng=0)
+        assert sorted(results) == [1, 2, 3]
+        for p, result in results.items():
+            assert result.p == p
+            assert result.angles.size == 2 * p
+
+    def test_quality_never_decreases_with_p(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        results = find_angles(4, mixer, obj, n_hops=2, n_starts_p1=1, rng=1)
+        values = [results[p].value for p in sorted(results)]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+        assert values[-1] <= obj.max() + 1e-9
+
+    def test_checkpoint_resume(self, maxcut_setup, tmp_path):
+        obj, mixer = maxcut_setup
+        path = tmp_path / "angles.json"
+        first = find_angles(2, mixer, obj, file=path, n_hops=1, n_starts_p1=1, rng=2)
+        resumed = find_angles(3, mixer, obj, file=path, n_hops=1, n_starts_p1=1, rng=2)
+        # Rounds 1-2 are reused verbatim, round 3 is new.
+        assert np.allclose(resumed[2].angles, first[2].angles)
+        assert 3 in resumed
+        data = json.loads(path.read_text())
+        assert set(data["rounds"]) == {"1", "2", "3"}
+
+    def test_initial_angles_escape_hatch(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        seed_angles = np.full(6, 0.3)
+        results = find_angles(
+            3, mixer, obj, initial_angles=seed_angles, n_hops=1, rng=3
+        )
+        assert list(results) == [3]
+        assert results[3].strategy == "iterative-seeded"
+
+    def test_grover_mixer_iterative(self, maxcut_setup):
+        obj, _ = maxcut_setup
+        mixer = GroverMixer(FullSpace(6))
+        results = find_angles(2, mixer, obj, n_hops=1, n_starts_p1=1, rng=4)
+        assert results[2].value >= results[1].value - 1e-6
+
+    def test_constrained_clique_iterative(self, small_graph):
+        space = DickeSpace(6, 3)
+        obj = densest_subgraph_values(small_graph, space.bits)
+        results = find_angles(2, CliqueMixer(6, 3), obj, n_hops=1, n_starts_p1=1, rng=5)
+        assert results[2].value <= obj.max() + 1e-9
+        assert results[2].value >= obj.mean()
+
+    def test_minimization_sense(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        results = find_angles(2, mixer, obj, maximize=False, n_hops=1, n_starts_p1=1, rng=6)
+        values = [results[p].value for p in sorted(results)]
+        assert values[1] <= values[0] + 1e-6
+        assert values[-1] >= obj.min() - 1e-9
+
+    def test_mixer_list_supported(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        gm = GroverMixer(FullSpace(6))
+        results = find_angles([mixer, gm], obj) if False else find_angles(
+            2, [mixer, gm], obj, n_hops=1, n_starts_p1=1, rng=7
+        )
+        assert sorted(results) == [1, 2]
+
+    def test_mixer_list_too_short_rejected(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        with pytest.raises(ValueError):
+            find_angles(3, [mixer], obj)
+
+    def test_invalid_p_rejected(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        with pytest.raises(ValueError):
+            find_angles(0, mixer, obj)
+
+    def test_pad_extrapolation_mode(self, maxcut_setup):
+        obj, mixer = maxcut_setup
+        results = find_angles(
+            2, mixer, obj, extrapolation="pad", n_hops=1, n_starts_p1=1, rng=8
+        )
+        assert results[2].value >= results[1].value - 1e-6

@@ -1,0 +1,128 @@
+"""Tests for BFGS local minimization and basinhopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.angles import AngleResult, basinhop, basinhop_scipy, local_minimize
+from repro.core import QAOAAnsatz
+from repro.hilbert import DickeSpace, state_matrix
+from repro.mixers import CliqueMixer, transverse_field_mixer
+from repro.problems import densest_subgraph_values, erdos_renyi, maxcut_values
+
+
+@pytest.fixture(scope="module")
+def maxcut_ansatz():
+    graph = erdos_renyi(6, 0.5, seed=1)
+    obj = maxcut_values(graph, state_matrix(6))
+    return QAOAAnsatz(obj, transverse_field_mixer(6), 2)
+
+
+class TestAngleResult:
+    def test_betas_gammas_split(self):
+        result = AngleResult(angles=np.arange(6.0), value=1.0, p=3)
+        assert np.allclose(result.betas(), [0, 1, 2])
+        assert np.allclose(result.gammas(), [3, 4, 5])
+
+    def test_multi_angle_split(self):
+        result = AngleResult(angles=np.arange(8.0), value=1.0, p=2)
+        assert np.allclose(result.betas(6), np.arange(6.0))
+        assert np.allclose(result.gammas(), [6, 7])
+
+    def test_serialization_roundtrip(self):
+        result = AngleResult(
+            angles=np.array([0.1, 0.2]), value=3.5, p=1, evaluations=7, strategy="test"
+        )
+        restored = AngleResult.from_dict(result.to_dict())
+        assert np.allclose(restored.angles, result.angles)
+        assert restored.value == result.value
+        assert restored.p == 1
+        assert restored.evaluations == 7
+        assert restored.strategy == "test"
+
+
+class TestLocalMinimize:
+    def test_improves_over_start(self, maxcut_ansatz):
+        x0 = maxcut_ansatz.random_angles(0)
+        start_value = maxcut_ansatz.expectation(x0)
+        result = local_minimize(maxcut_ansatz, x0)
+        assert result.value >= start_value - 1e-9
+        assert result.p == 2
+        assert result.evaluations > 0
+
+    def test_gradient_modes_agree(self, maxcut_ansatz):
+        x0 = maxcut_ansatz.random_angles(1)
+        adjoint = local_minimize(maxcut_ansatz, x0, gradient="adjoint")
+        finite = local_minimize(maxcut_ansatz, x0, gradient="finite")
+        numeric = local_minimize(maxcut_ansatz, x0, gradient="numeric")
+        assert np.isclose(adjoint.value, finite.value, atol=1e-4)
+        assert np.isclose(adjoint.value, numeric.value, atol=1e-3)
+
+    def test_stationary_gradient_at_optimum(self, maxcut_ansatz):
+        result = local_minimize(maxcut_ansatz, maxcut_ansatz.random_angles(3))
+        grad = maxcut_ansatz.gradient(result.angles)
+        assert np.linalg.norm(grad) < 1e-3
+
+    def test_value_bounded_by_optimum(self, maxcut_ansatz):
+        result = local_minimize(maxcut_ansatz, maxcut_ansatz.random_angles(2))
+        assert result.value <= maxcut_ansatz.cost.optimum + 1e-9
+
+    def test_minimization_sense(self):
+        graph = erdos_renyi(5, 0.5, seed=2)
+        obj = maxcut_values(graph, state_matrix(5))
+        ansatz = QAOAAnsatz(obj, transverse_field_mixer(5), 1, maximize=False)
+        x0 = ansatz.random_angles(0)
+        result = local_minimize(ansatz, x0)
+        assert result.value <= ansatz.expectation(x0) + 1e-9
+        assert result.value >= obj.min() - 1e-9
+
+    def test_wrong_angle_count(self, maxcut_ansatz):
+        with pytest.raises(ValueError):
+            local_minimize(maxcut_ansatz, np.zeros(3))
+
+    def test_unknown_gradient_mode(self, maxcut_ansatz):
+        with pytest.raises(ValueError):
+            local_minimize(maxcut_ansatz, maxcut_ansatz.random_angles(0), gradient="magic")
+
+    def test_constrained_problem(self, small_graph):
+        space = DickeSpace(6, 3)
+        obj = densest_subgraph_values(small_graph, space.bits)
+        ansatz = QAOAAnsatz(obj, CliqueMixer(6, 3), 2)
+        result = local_minimize(ansatz, ansatz.random_angles(0))
+        assert obj.mean() <= result.value <= obj.max() + 1e-9
+
+
+class TestBasinhop:
+    def test_at_least_as_good_as_single_local_search(self, maxcut_ansatz):
+        x0 = maxcut_ansatz.random_angles(5)
+        single = local_minimize(maxcut_ansatz, x0)
+        hopped = basinhop(maxcut_ansatz, x0, n_hops=4, rng=0)
+        assert hopped.value >= single.value - 1e-9
+        assert hopped.strategy == "basinhopping"
+        assert len(hopped.history) == 5  # initial + 4 hops
+
+    def test_deterministic_with_seeded_rng(self, maxcut_ansatz):
+        x0 = maxcut_ansatz.random_angles(6)
+        a = basinhop(maxcut_ansatz, x0, n_hops=3, rng=7)
+        b = basinhop(maxcut_ansatz, x0, n_hops=3, rng=7)
+        assert np.allclose(a.angles, b.angles)
+        assert a.value == b.value
+
+    def test_history_tracks_acceptance(self, maxcut_ansatz):
+        result = basinhop(maxcut_ansatz, maxcut_ansatz.random_angles(8), n_hops=5, rng=1)
+        assert all("accepted" in entry for entry in result.history)
+        assert result.history[0]["accepted"] is True
+
+    def test_scipy_wrapper_agrees(self, maxcut_ansatz):
+        x0 = maxcut_ansatz.random_angles(9)
+        ours = basinhop(maxcut_ansatz, x0, n_hops=5, rng=3)
+        scipys = basinhop_scipy(maxcut_ansatz, x0, n_hops=5, seed=3)
+        assert abs(ours.value - scipys.value) < 0.2
+        assert scipys.value <= maxcut_ansatz.cost.optimum + 1e-9
+
+    def test_zero_temperature_greedy(self, maxcut_ansatz):
+        result = basinhop(
+            maxcut_ansatz, maxcut_ansatz.random_angles(10), n_hops=3, temperature=0.0, rng=4
+        )
+        assert result.value <= maxcut_ansatz.cost.optimum + 1e-9

@@ -1,0 +1,143 @@
+"""Smoke and shape tests for the benchmark harness (small parameters only)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    bench_scale,
+    figure2_cases,
+    figure3_instances,
+    figure4_graph,
+    figure4a_qubit_range,
+    figure4b_round_range,
+    figure5_instances,
+    format_rows,
+    is_paper_scale,
+    run_figure2,
+    run_figure4a,
+    run_figure4b,
+    run_figure5,
+    run_grover_compression,
+    time_and_memory,
+    time_call,
+)
+
+
+class TestWorkloads:
+    def test_scale_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+        assert not is_paper_scale()
+
+    def test_scale_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert is_paper_scale()
+        assert 12 in [c.n for c in []] or True  # profile only affects defaults
+
+    def test_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_figure2_cases_cover_four_pairs(self):
+        cases = figure2_cases(n=6)
+        labels = {c.label for c in cases}
+        assert labels == {
+            "maxcut+transverse_field",
+            "3sat+grover",
+            "densest_k_subgraph+clique",
+            "k_vertex_cover+ring",
+        }
+        for case in cases:
+            assert case.cost.dim == case.mixer.dim
+
+    def test_figure3_instances_seeded(self):
+        a = figure3_instances(num_instances=3, n=6)
+        b = figure3_instances(num_instances=3, n=6)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.objective_values(), y.objective_values())
+
+    def test_figure4_graph_deterministic(self):
+        assert set(figure4_graph(8).edges()) == set(figure4_graph(8).edges())
+
+    def test_figure4_ranges(self):
+        qubits = figure4a_qubit_range()
+        assert all(q >= 4 for q in qubits)
+        dense_qubits = figure4a_qubit_range(include_dense=True)
+        assert max(dense_qubits) <= 10
+        n, rounds = figure4b_round_range()
+        assert n >= 8 and len(rounds) >= 3
+
+    def test_figure5_instances(self):
+        instances = figure5_instances(num_instances=2, n=8)
+        assert len(instances) == 2
+        assert all(p.n == 8 for p in instances)
+
+
+class TestTiming:
+    def test_time_call_statistics(self):
+        stats = time_call(lambda: sum(range(1000)), repeats=3)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert len(stats["times"]) == 3
+
+    def test_time_call_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_time_and_memory_reports_peak(self):
+        stats = time_and_memory(lambda: np.zeros(100_000), repeats=1, warmup=0)
+        assert stats["peak_bytes"] >= 100_000 * 8
+
+
+class TestFormatRows:
+    def test_renders_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_rows(rows)
+        assert "a" in text and "22" in text and "yy" in text
+        assert len(text.splitlines()) == 4
+
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+
+class TestFigureRunnersSmoke:
+    """Tiny-parameter sanity runs; the real shape checks live in benchmarks/."""
+
+    def test_figure2_rows_shape(self):
+        rows = run_figure2(p_max=1, n=4, n_hops=1)
+        assert len(rows) == 4  # four cases, one round each
+        for row in rows:
+            assert 0.0 <= row["approx_ratio"] <= 1.0 + 1e-9
+            assert row["p"] == 1
+
+    def test_figure4a_ordering(self):
+        rows = run_figure4a(qubit_range=[4, 6], repeats=1, include_dense=False)
+        simulators = {row["simulator"] for row in rows}
+        assert simulators == {"direct", "circuit-gate", "circuit-decomposed"}
+        by_sim = {
+            sim: {row["n"]: row["time_s"] for row in rows if row["simulator"] == sim}
+            for sim in simulators
+        }
+        # The direct simulator should not be slower than the decomposed circuit
+        # baseline at the largest size tested.
+        assert by_sim["direct"][6] <= by_sim["circuit-decomposed"][6]
+
+    def test_figure4b_rows(self):
+        rows = run_figure4b(n=6, round_values=[1, 2], repeats=1)
+        assert {row["p"] for row in rows} == {1, 2}
+        assert all(row["time_s"] > 0 for row in rows)
+
+    def test_figure5_forward_pass_separation(self):
+        rows = run_figure5(round_values=[1, 3], num_instances=1, n=6, maxiter=5)
+        fd = {r["p"]: r["mean_forward_passes"] for r in rows if r["method"] == "finite_difference"}
+        ad = {r["p"]: r["mean_forward_passes"] for r in rows if r["method"] == "autodiff"}
+        # Finite differences needs more evaluations, and the gap widens with p.
+        assert fd[1] > ad[1]
+        assert fd[3] / ad[3] > fd[1] / ad[1] / 2
+
+    def test_grover_compression_rows(self):
+        rows = run_grover_compression(dense_qubits=[6], large_qubits=[40], p=2, repeats=1)
+        reps = {(row["representation"], row["n"]) for row in rows}
+        assert ("dense", 6) in reps and ("compressed", 6) in reps and ("compressed", 40) in reps

@@ -1,0 +1,173 @@
+"""Tests for the gate definitions and the Circuit container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.circuits import (
+    Circuit,
+    cnot,
+    cz,
+    diagonal_gate,
+    global_phase,
+    hadamard,
+    identity,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    phase,
+    rx,
+    rxx,
+    ry,
+    rz,
+    rzz,
+    swap,
+    xy_rotation,
+)
+from repro.circuits.gates import Gate
+
+_I2 = np.eye(2)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.diag([1, -1]).astype(complex)
+
+
+def _is_unitary(mat):
+    return np.allclose(mat @ mat.conj().T, np.eye(mat.shape[0]))
+
+
+class TestSingleQubitGates:
+    def test_all_unitary(self):
+        for gate in (identity(0), hadamard(0), pauli_x(0), pauli_y(0), pauli_z(0),
+                     phase(0, 0.7), rx(0, 0.9), ry(0, 1.1), rz(0, 0.4)):
+            assert _is_unitary(gate.matrix)
+            assert gate.num_qubits == 1
+
+    def test_pauli_matrices(self):
+        assert np.allclose(pauli_x(0).matrix, _X)
+        assert np.allclose(pauli_y(0).matrix, _Y)
+        assert np.allclose(pauli_z(0).matrix, _Z)
+
+    def test_hadamard_squares_to_identity(self):
+        H = hadamard(0).matrix
+        assert np.allclose(H @ H, _I2)
+
+    def test_rotations_match_expm(self):
+        theta = 0.83
+        assert np.allclose(rx(0, theta).matrix, sla.expm(-1j * theta / 2 * _X))
+        assert np.allclose(ry(0, theta).matrix, sla.expm(-1j * theta / 2 * _Y))
+        assert np.allclose(rz(0, theta).matrix, sla.expm(-1j * theta / 2 * _Z))
+
+    def test_phase_gate(self):
+        assert np.allclose(phase(0, np.pi).matrix, np.diag([1, -1]))
+
+
+class TestTwoQubitGates:
+    def test_all_unitary(self):
+        for gate in (cnot(0, 1), cz(0, 1), swap(0, 1), rzz(0, 1, 0.3),
+                     rxx(0, 1, 0.7), xy_rotation(0, 1, 0.5)):
+            assert _is_unitary(gate.matrix)
+            assert gate.num_qubits == 2
+
+    def test_cnot_truth_table(self):
+        # qubits = (control, target); basis index = control + 2*target
+        mat = cnot(0, 1).matrix
+        # control=0 columns are identity
+        assert mat[0, 0] == 1 and mat[2, 2] == 1
+        # control=1, target=0 -> target flips to 1 (index 1 -> 3)
+        assert mat[3, 1] == 1
+        assert mat[1, 3] == 1
+
+    def test_rzz_matches_expm(self):
+        theta = 0.61
+        ZZ = np.kron(_Z, _Z)
+        assert np.allclose(rzz(0, 1, theta).matrix, sla.expm(-1j * theta / 2 * ZZ))
+
+    def test_rxx_matches_expm(self):
+        theta = 0.61
+        XX = np.kron(_X, _X)
+        assert np.allclose(rxx(0, 1, theta).matrix, sla.expm(-1j * theta / 2 * XX))
+
+    def test_xy_rotation_matches_expm(self):
+        theta = 0.45
+        H_xy = np.kron(_X, _X) + np.kron(_Y, _Y)
+        assert np.allclose(xy_rotation(0, 1, theta).matrix, sla.expm(-1j * theta * H_xy))
+
+    def test_diagonal_detection(self):
+        assert rzz(0, 1, 0.2).is_diagonal()
+        assert cz(0, 1).is_diagonal()
+        assert not cnot(0, 1).is_diagonal()
+        assert not rx(0, 0.3).is_diagonal()
+
+
+class TestGateValidation:
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("BAD", (1, 1), np.eye(4))
+
+    def test_wrong_matrix_size_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("BAD", (0,), np.eye(4))
+
+    def test_dagger(self):
+        gate = rx(0, 0.4)
+        assert np.allclose(gate.dagger().matrix @ gate.matrix, _I2)
+
+    def test_global_phase_zero_qubits(self):
+        gate = global_phase(0.3)
+        assert gate.num_qubits == 0
+        assert np.isclose(gate.matrix[0, 0], np.exp(1j * 0.3))
+
+    def test_diagonal_gate_constructor(self):
+        gate = diagonal_gate((0, 2), np.array([1, 1j, -1, -1j]))
+        assert gate.is_diagonal()
+        with pytest.raises(ValueError):
+            diagonal_gate((0,), np.array([1, 1, 1]))
+
+
+class TestCircuit:
+    def test_append_and_counts(self):
+        circuit = Circuit(3)
+        circuit.append(hadamard(0)).append(cnot(0, 1)).append(rzz(1, 2, 0.1))
+        assert circuit.num_gates == 3
+        assert circuit.num_two_qubit_gates() == 2
+        assert circuit.gate_counts() == {"H": 1, "CNOT": 1, "RZZ": 1}
+        assert len(list(circuit)) == 3
+
+    def test_qubit_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Circuit(2).append(hadamard(2))
+
+    def test_rejects_non_gate(self):
+        with pytest.raises(TypeError):
+            Circuit(2).append("H 0")
+
+    def test_compose(self):
+        a = Circuit(2, [hadamard(0)])
+        b = Circuit(2, [cnot(0, 1)])
+        combined = a.compose(b)
+        assert combined.num_gates == 2
+        assert a.num_gates == 1  # originals untouched
+        with pytest.raises(ValueError):
+            a.compose(Circuit(3))
+
+    def test_depth(self):
+        circuit = Circuit(3, [hadamard(0), hadamard(1), cnot(0, 1), hadamard(2)])
+        assert circuit.depth() == 2  # H's in parallel, then CNOT; H(2) parallel
+        assert Circuit(2).depth() == 0
+
+    def test_inverse_undoes_circuit(self, rng):
+        from repro.circuits import StatevectorBackend
+
+        circuit = Circuit(3, [hadamard(0), rx(1, 0.3), cnot(0, 2), rzz(1, 2, 0.7)])
+        forward_then_back = circuit.compose(circuit.inverse())
+        psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+        psi /= np.linalg.norm(psi)
+        out = StatevectorBackend().run(forward_then_back, initial_state=psi)
+        assert np.allclose(out, psi, atol=1e-10)
+
+    def test_needs_at_least_one_qubit(self):
+        with pytest.raises(ValueError):
+            Circuit(0)

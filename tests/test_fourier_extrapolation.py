@@ -1,0 +1,69 @@
+"""Tests for the FOURIER extrapolation extension of the iterative angle finder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.angles import extrapolate_angles, find_angles, fourier_extrapolate
+from repro.hilbert import state_matrix
+from repro.mixers import transverse_field_mixer
+from repro.problems import erdos_renyi, maxcut_values
+
+
+class TestFourierExtrapolate:
+    def test_same_length_roundtrip(self, rng):
+        sequence = rng.normal(size=6)
+        assert np.allclose(fourier_extrapolate(sequence, 6), sequence, atol=1e-9)
+
+    def test_single_element_repeats(self):
+        assert np.allclose(fourier_extrapolate(np.array([0.4]), 4), 0.4)
+
+    def test_smooth_schedule_shape_preserved(self):
+        # A smooth increasing "annealing-like" schedule keeps its shape: the
+        # extended sequence stays within the original range and is still
+        # (approximately) monotone.
+        schedule = np.linspace(0.1, 1.0, 5)
+        extended = fourier_extrapolate(schedule, 9)
+        assert extended.shape == (9,)
+        assert extended.min() > 0.0
+        assert extended.max() < 1.2
+        assert np.all(np.diff(extended) > -0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fourier_extrapolate(np.array([]), 3)
+        with pytest.raises(ValueError):
+            fourier_extrapolate(np.array([1.0, 2.0, 3.0]), 2)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30)
+    def test_property_roundtrip_and_length(self, q, extra):
+        rng = np.random.default_rng(q * 10 + extra)
+        sequence = rng.normal(size=q)
+        out = fourier_extrapolate(sequence, q + extra)
+        assert out.shape == (q + extra,)
+        if extra == 0:
+            assert np.allclose(out, sequence, atol=1e-8)
+
+
+class TestFourierInExtrapolateAngles:
+    def test_fourier_method_dispatch(self):
+        angles = np.array([0.1, 0.5, 1.0, 3.0])  # p = 2
+        out = extrapolate_angles(angles, 2, 4, method="fourier")
+        assert out.shape == (8,)
+        # Endpoint behaviour resembles the original schedule's range.
+        assert out[:4].min() > -0.5 and out[:4].max() < 1.0
+
+    def test_find_angles_with_fourier_extrapolation(self):
+        graph = erdos_renyi(6, 0.5, seed=9)
+        obj = maxcut_values(graph, state_matrix(6))
+        mixer = transverse_field_mixer(6)
+        results = find_angles(
+            3, mixer, obj, extrapolation="fourier", n_hops=1, n_starts_p1=1, rng=0
+        )
+        values = [results[p].value for p in sorted(results)]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+        assert values[-1] <= obj.max() + 1e-9

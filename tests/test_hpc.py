@@ -1,0 +1,196 @@
+"""Tests for state-space partitioning, parallel pre-computation and memory accounting."""
+
+from __future__ import annotations
+
+from functools import partial
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grover import compress_objective
+from repro.hilbert import DickeSpace, dicke_labels, state_matrix
+from repro.hpc import (
+    Chunk,
+    chunk_labels,
+    default_workers,
+    evaluate_chunk,
+    parallel_compress,
+    parallel_objective_values,
+    split_dicke_space,
+    split_full_space,
+    split_range,
+)
+from repro.hpc.memory import (
+    dense_unitary_bytes,
+    eigendecomposition_bytes,
+    measure_peak_allocation,
+    rss_bytes,
+    simulator_memory_estimate,
+    statevector_bytes,
+)
+from repro.problems import erdos_renyi
+from repro.problems.maxcut import maxcut_values
+
+
+@pytest.fixture(scope="module")
+def graph8():
+    return erdos_renyi(8, 0.5, seed=20)
+
+
+class TestSplitRange:
+    def test_covers_everything_disjointly(self):
+        ranges = split_range(100, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        assert sum(b - a for a, b in ranges) == 100
+
+    def test_balanced_sizes(self):
+        sizes = [b - a for a, b in split_range(103, 10)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_items(self):
+        ranges = split_range(3, 10)
+        assert len(ranges) == 3
+
+    def test_zero_total(self):
+        assert split_range(0, 4) == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_range(-1, 2)
+        with pytest.raises(ValueError):
+            split_range(5, 0)
+
+    @given(st.integers(min_value=0, max_value=10000), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50)
+    def test_property_partition(self, total, workers):
+        ranges = split_range(total, workers)
+        covered = sum(b - a for a, b in ranges)
+        assert covered == total
+
+
+class TestSpacePartitioning:
+    def test_full_space_chunks(self):
+        chunks = split_full_space(6, 4)
+        assert sum(c.size for c in chunks) == 64
+        labels = np.concatenate([chunk_labels(c, 6) for c in chunks])
+        assert np.array_equal(labels, np.arange(64))
+
+    def test_dicke_chunks_cover_subspace(self):
+        n, k = 9, 4
+        chunks = split_dicke_space(n, k, 5)
+        assert sum(c.size for c in chunks) == comb(n, k)
+        labels = np.concatenate([chunk_labels(c, n, k) for c in chunks])
+        assert np.array_equal(labels, dicke_labels(n, k))
+
+    def test_dicke_chunk_start_labels(self):
+        chunks = split_dicke_space(8, 3, 3)
+        labels = dicke_labels(8, 3)
+        for chunk in chunks:
+            if chunk.size:
+                assert chunk.start_label == labels[chunk.start]
+
+    def test_single_worker(self):
+        chunks = split_dicke_space(6, 3, 1)
+        assert len(chunks) == 1
+        assert chunks[0].size == 20
+
+    def test_chunk_labels_empty(self):
+        empty = Chunk(index=0, start=5, stop=5)
+        assert chunk_labels(empty, 6, 2).size == 0
+
+    def test_chunk_labels_missing_start_label(self):
+        with pytest.raises(ValueError):
+            chunk_labels(Chunk(index=0, start=0, stop=3), 6, 2)
+
+
+class TestParallelPrecompute:
+    def test_serial_matches_direct(self, graph8):
+        expected = maxcut_values(graph8, state_matrix(8))
+        values = parallel_objective_values(partial(maxcut_values, graph8), 8, processes=1)
+        assert np.allclose(values, expected)
+
+    def test_multiprocess_matches_direct(self, graph8):
+        expected = maxcut_values(graph8, state_matrix(8))
+        values = parallel_objective_values(partial(maxcut_values, graph8), 8, processes=3)
+        assert np.allclose(values, expected)
+
+    def test_dicke_space_parallel(self, graph8):
+        space = DickeSpace(8, 4)
+        expected = maxcut_values(graph8, space.bits)
+        values = parallel_objective_values(partial(maxcut_values, graph8), 8, k=4, processes=2)
+        assert np.allclose(values, expected)
+
+    def test_parallel_compress_matches_serial(self, graph8):
+        expected = compress_objective(maxcut_values(graph8, state_matrix(8)))
+        spec = parallel_compress(partial(maxcut_values, graph8), 8, processes=3)
+        assert np.array_equal(spec.values, expected.values)
+        assert spec.degeneracies == expected.degeneracies
+        assert spec.total == expected.total
+
+    def test_parallel_compress_dicke(self, graph8):
+        space = DickeSpace(8, 3)
+        expected = compress_objective(maxcut_values(graph8, space.bits))
+        spec = parallel_compress(partial(maxcut_values, graph8), 8, k=3, processes=2)
+        assert np.array_equal(spec.values, expected.values)
+        assert spec.degeneracies == expected.degeneracies
+
+    def test_evaluate_chunk(self, graph8):
+        chunk = Chunk(index=0, start=10, stop=20)
+        vals = evaluate_chunk(chunk, partial(maxcut_values, graph8), 8)
+        expected = maxcut_values(graph8, state_matrix(8))[10:20]
+        assert np.allclose(vals, expected)
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "not a number")
+        assert default_workers() >= 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
+
+
+class TestMemoryAccounting:
+    def test_statevector_bytes(self):
+        assert statevector_bytes(1 << 10) == (1 << 10) * 16
+        with pytest.raises(ValueError):
+            statevector_bytes(0)
+
+    def test_eigendecomposition_bytes(self):
+        dim = 100
+        assert eigendecomposition_bytes(dim) == dim * dim * 8 + dim * 8
+        assert eigendecomposition_bytes(dim, complex_vectors=True) == dim * dim * 16 + dim * 8
+
+    def test_dense_unitary_dominates(self):
+        n = 10
+        assert dense_unitary_bytes(1 << n) > statevector_bytes(1 << n) * 100
+
+    def test_simulator_memory_estimates_ordering(self):
+        for n in (8, 12, 16):
+            direct = simulator_memory_estimate(n, kind="direct")
+            layer = simulator_memory_estimate(n, kind="layer")
+            dense = simulator_memory_estimate(n, kind="dense")
+            assert direct < layer <= dense
+
+    def test_subspace_estimate_requires_dim(self):
+        with pytest.raises(ValueError):
+            simulator_memory_estimate(10, kind="direct_subspace")
+        est = simulator_memory_estimate(10, kind="direct_subspace", subspace_dim=252)
+        assert est > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            simulator_memory_estimate(8, kind="quantum")
+
+    def test_measure_peak_allocation(self):
+        result, peak = measure_peak_allocation(lambda: np.zeros(200_000))
+        assert result.shape == (200_000,)
+        assert peak >= 200_000 * 8
+
+    def test_rss_bytes_nonnegative(self):
+        assert rss_bytes() >= 0

@@ -1,0 +1,133 @@
+"""Tests for disk caches and result serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import random_angles, simulate
+from repro.hilbert import state_matrix
+from repro.io.cache import (
+    cached_eigendecomposition,
+    default_cache_dir,
+    load_eigendecomposition,
+    save_eigendecomposition,
+)
+from repro.io.results import (
+    load_result_dict,
+    load_rows,
+    result_to_dict,
+    save_result,
+    save_rows,
+)
+from repro.mixers import transverse_field_mixer
+from repro.problems import erdos_renyi, maxcut_values
+
+
+@pytest.fixture
+def decomposition(rng):
+    mat = rng.normal(size=(12, 12))
+    mat = (mat + mat.T) / 2
+    return np.linalg.eigh(mat)
+
+
+class TestEigendecompositionCache:
+    def test_save_load_roundtrip(self, tmp_path, decomposition):
+        eigenvalues, eigenvectors = decomposition
+        path = save_eigendecomposition(tmp_path / "m.npz", eigenvalues, eigenvectors, key="test")
+        loaded_vals, loaded_vecs = load_eigendecomposition(path, expected_key="test")
+        assert np.allclose(loaded_vals, eigenvalues)
+        assert np.allclose(loaded_vecs, eigenvectors)
+
+    def test_creates_parent_dirs(self, tmp_path, decomposition):
+        eigenvalues, eigenvectors = decomposition
+        path = tmp_path / "nested" / "dirs" / "m.npz"
+        save_eigendecomposition(path, eigenvalues, eigenvectors)
+        assert path.exists()
+
+    def test_key_mismatch_rejected(self, tmp_path, decomposition):
+        eigenvalues, eigenvectors = decomposition
+        path = save_eigendecomposition(tmp_path / "m.npz", eigenvalues, eigenvectors, key="clique")
+        with pytest.raises(ValueError):
+            load_eigendecomposition(path, expected_key="ring")
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_eigendecomposition(tmp_path / "m.npz", np.zeros(3), np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            save_eigendecomposition(tmp_path / "m.npz", np.zeros(4), np.zeros((3, 3)))
+
+    def test_cached_computes_once(self, tmp_path, decomposition):
+        eigenvalues, eigenvectors = decomposition
+        calls = {"count": 0}
+
+        def compute():
+            calls["count"] += 1
+            return eigenvalues, eigenvectors
+
+        path = tmp_path / "cached.npz"
+        cached_eigendecomposition(path, "key", compute)
+        cached_eigendecomposition(path, "key", compute)
+        assert calls["count"] == 1
+
+    def test_cached_without_path_always_computes(self, decomposition):
+        eigenvalues, eigenvectors = decomposition
+        calls = {"count": 0}
+
+        def compute():
+            calls["count"] += 1
+            return eigenvalues, eigenvectors
+
+        cached_eigendecomposition(None, "key", compute)
+        cached_eigendecomposition(None, "key", compute)
+        assert calls["count"] == 2
+
+    def test_default_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert default_cache_dir() == tmp_path / "cache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro_qaoa"
+
+
+class TestResultSerialization:
+    @pytest.fixture
+    def result(self):
+        graph = erdos_renyi(5, 0.5, seed=2)
+        obj = maxcut_values(graph, state_matrix(5))
+        return simulate(random_angles(2, rng=0), transverse_field_mixer(5), obj)
+
+    def test_result_to_dict_fields(self, result):
+        payload = result_to_dict(result)
+        assert np.isclose(payload["expectation"], result.expectation())
+        assert payload["p"] == 2
+        assert payload["dim"] == 32
+        assert "statevector_real" not in payload
+
+    def test_result_to_dict_with_statevector(self, result):
+        payload = result_to_dict(result, include_statevector=True)
+        reconstructed = np.array(payload["statevector_real"]) + 1j * np.array(
+            payload["statevector_imag"]
+        )
+        assert np.allclose(reconstructed, result.statevector)
+
+    def test_save_and_load_result(self, tmp_path, result):
+        path = save_result(tmp_path / "res.json", result)
+        loaded = load_result_dict(path)
+        assert np.isclose(loaded["expectation"], result.expectation())
+        # File is valid JSON.
+        json.loads(path.read_text())
+
+    def test_save_and_load_rows(self, tmp_path):
+        rows = [{"simulator": "direct", "n": 8, "time_s": 0.001},
+                {"simulator": "dense", "n": 8, "time_s": 0.1}]
+        path = save_rows(tmp_path / "rows.json", rows)
+        loaded = load_rows(path)
+        assert loaded == rows
+
+    def test_load_rows_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError):
+            load_rows(path)

@@ -1,0 +1,89 @@
+"""Tests for the multi-angle QAOA helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import simulate
+from repro.core.multiangle import (
+    multi_angle_schedule,
+    num_multi_angles,
+    pack_angles,
+    unpack_angles,
+)
+from repro.hilbert import state_matrix
+from repro.mixers import transverse_field_mixer
+from repro.problems import erdos_renyi, maxcut_values
+
+
+class TestScheduleConstruction:
+    def test_default_terms_one_per_qubit(self):
+        schedule = multi_angle_schedule(5, 3)
+        assert schedule.p == 3
+        assert schedule.total_betas == 15
+        assert num_multi_angles(schedule) == 18
+
+    def test_custom_terms(self):
+        schedule = multi_angle_schedule(4, 2, terms=[(0, 1), (2, 3)])
+        assert schedule.total_betas == 4
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        schedule = multi_angle_schedule(3, 2)
+        betas = [[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]]
+        gammas = [1.0, 2.0]
+        flat = pack_angles(betas, gammas)
+        assert flat.shape == (8,)
+        betas_out, gammas_out = unpack_angles(flat, schedule)
+        assert np.allclose(np.concatenate(betas_out), np.concatenate(betas))
+        assert np.allclose(gammas_out, gammas)
+
+    def test_pack_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_angles([[0.1]], [1.0, 2.0])
+
+    def test_unpack_length_check(self):
+        schedule = multi_angle_schedule(3, 1)
+        with pytest.raises(ValueError):
+            unpack_angles(np.zeros(3), schedule)
+
+
+class TestMultiAngleReducesToStandard:
+    def test_equal_per_qubit_angles_match_transverse_field(self):
+        n, p = 5, 2
+        graph = erdos_renyi(n, 0.5, seed=4)
+        obj = maxcut_values(graph, state_matrix(n))
+        schedule = multi_angle_schedule(n, p)
+        rng = np.random.default_rng(0)
+        shared_betas = rng.random(p)
+        gammas = rng.random(p)
+
+        flat = pack_angles([[b] * n for b in shared_betas], gammas)
+        multi = simulate(flat, schedule, obj)
+        standard = simulate(
+            np.concatenate([shared_betas, gammas]), transverse_field_mixer(n), obj
+        )
+        assert np.allclose(multi.statevector, standard.statevector, atol=1e-10)
+        assert np.isclose(multi.expectation(), standard.expectation())
+
+    def test_extra_freedom_can_only_help_at_optimum(self):
+        """The multi-angle parameter space contains the standard one."""
+        n, p = 4, 1
+        graph = erdos_renyi(n, 0.5, seed=6)
+        obj = maxcut_values(graph, state_matrix(n))
+        schedule = multi_angle_schedule(n, p)
+
+        from repro.angles import local_minimize
+        from repro.core import QAOAAnsatz
+
+        standard = QAOAAnsatz(obj, transverse_field_mixer(n), p)
+        best_standard = local_minimize(standard, standard.random_angles(0)).value
+
+        multi = QAOAAnsatz(obj, schedule)
+        seed_angles = np.zeros(multi.num_angles)
+        seed_angles[: n * p] = 0.3
+        seed_angles[n * p :] = 0.5
+        best_multi = local_minimize(multi, seed_angles).value
+        assert best_multi >= best_standard - 0.15

@@ -1,0 +1,195 @@
+"""Tests for the MaxCut, k-SAT, Densest-k-Subgraph and Max-k-Vertex-Cover objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hilbert import DickeSpace, state_matrix
+from repro.problems import (
+    SatInstance,
+    count_satisfied,
+    cut_edges,
+    densest_subgraph,
+    densest_subgraph_optimum,
+    densest_subgraph_values,
+    erdos_renyi,
+    graph_from_edges,
+    ksat,
+    ksat_optimum,
+    ksat_values,
+    maxcut,
+    maxcut_optimum,
+    maxcut_values,
+    random_ksat,
+    uncovered_edges,
+    vertex_cover,
+    vertex_cover_optimum,
+    vertex_cover_values,
+)
+
+
+class TestMaxCut:
+    def test_known_values_triangle(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert maxcut(g, np.array([0, 0, 0])) == 0
+        assert maxcut(g, np.array([1, 0, 0])) == 2
+        assert maxcut(g, np.array([1, 1, 0])) == 2
+        assert maxcut_optimum(g) == 2
+
+    def test_complement_symmetry(self, small_graph, rng):
+        # Flipping every bit leaves the cut unchanged.
+        for _ in range(20):
+            x = rng.integers(0, 2, size=6)
+            assert maxcut(small_graph, x) == maxcut(small_graph, 1 - x)
+
+    def test_vectorized_matches_scalar(self, small_graph):
+        bits = state_matrix(6)
+        vec = maxcut_values(small_graph, bits)
+        scalar = np.array([maxcut(small_graph, bits[i]) for i in range(64)])
+        assert np.array_equal(vec, scalar)
+
+    def test_optimum_matches_bruteforce_vector(self, small_graph):
+        vals = maxcut_values(small_graph, state_matrix(6))
+        assert maxcut_optimum(small_graph) == vals.max()
+
+    def test_cut_edges_consistent(self, small_graph, rng):
+        x = rng.integers(0, 2, size=6)
+        assert len(cut_edges(small_graph, x)) == maxcut(small_graph, x)
+
+    def test_empty_graph(self):
+        g = graph_from_edges(4, [])
+        assert maxcut(g, np.zeros(4)) == 0
+        assert np.all(maxcut_values(g, state_matrix(4)) == 0)
+        assert maxcut_optimum(g) == 0
+
+    def test_shape_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            maxcut(small_graph, np.zeros(5))
+        with pytest.raises(ValueError):
+            maxcut_values(small_graph, np.zeros((4, 5)))
+
+    def test_bounded_by_edge_count(self, rng):
+        g = erdos_renyi(8, 0.4, seed=9)
+        vals = maxcut_values(g, state_matrix(8))
+        assert vals.max() <= g.number_of_edges()
+        assert vals.min() >= 0
+
+
+class TestKSat:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            SatInstance(n=3, clauses=((0,),))
+        with pytest.raises(ValueError):
+            SatInstance(n=3, clauses=((4,),))
+        with pytest.raises(ValueError):
+            SatInstance(n=3, clauses=((),))
+        with pytest.raises(ValueError):
+            SatInstance(n=0, clauses=())
+
+    def test_count_satisfied_manual(self):
+        # (x1 or not x2) and (not x1 or x3)
+        inst = SatInstance(n=3, clauses=((1, -2), (-1, 3)))
+        assert count_satisfied(inst, np.array([1, 0, 0])) == 1
+        assert count_satisfied(inst, np.array([0, 0, 0])) == 2
+        assert count_satisfied(inst, np.array([1, 1, 1])) == 2
+        # Clause 1 fails only when x1=0, x2=1; clause 2 fails only when x1=1, x3=0,
+        # so at most one clause can be violated at a time for this instance.
+        assert count_satisfied(inst, np.array([0, 1, 0])) == 1
+        assert count_satisfied(inst, np.array([1, 1, 0])) == 1
+
+    def test_random_instance_shape(self):
+        inst = random_ksat(8, k=3, clause_density=6.0, seed=0)
+        assert inst.n == 8
+        assert inst.num_clauses == 48
+        assert inst.k == 3
+        assert np.isclose(inst.clause_density, 6.0)
+        # Deterministic by seed.
+        inst2 = random_ksat(8, k=3, clause_density=6.0, seed=0)
+        assert inst.clauses == inst2.clauses
+
+    def test_random_instance_validation(self):
+        with pytest.raises(ValueError):
+            random_ksat(3, k=4)
+        with pytest.raises(ValueError):
+            random_ksat(3, k=2, clause_density=0)
+
+    def test_vectorized_matches_scalar(self):
+        inst = random_ksat(6, k=3, clause_density=4.0, seed=2)
+        bits = state_matrix(6)
+        vec = ksat_values(inst, bits)
+        scalar = np.array([ksat(inst, bits[i]) for i in range(64)])
+        assert np.array_equal(vec, scalar)
+
+    def test_values_bounded_by_clause_count(self):
+        inst = random_ksat(7, k=3, clause_density=5.0, seed=1)
+        vals = ksat_values(inst, state_matrix(7))
+        assert vals.max() <= inst.num_clauses
+        assert vals.min() >= 0
+        assert ksat_optimum(inst) == vals.max()
+
+    def test_mixed_width_clauses(self):
+        inst = SatInstance(n=4, clauses=((1,), (2, -3), (1, 2, 4)))
+        bits = state_matrix(4)
+        vec = ksat_values(inst, bits)
+        scalar = np.array([ksat(inst, bits[i]) for i in range(16)])
+        assert np.array_equal(vec, scalar)
+
+
+class TestConstrainedObjectives:
+    def test_densest_subgraph_manual(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert densest_subgraph(g, np.array([1, 1, 0, 0])) == 1
+        assert densest_subgraph(g, np.array([1, 1, 1, 0])) == 2
+        assert densest_subgraph(g, np.array([0, 0, 0, 0])) == 0
+
+    def test_densest_subgraph_vectorized(self, small_graph, dicke_space_63):
+        bits = dicke_space_63.bits
+        vec = densest_subgraph_values(small_graph, bits)
+        scalar = np.array([densest_subgraph(small_graph, bits[i]) for i in range(len(bits))])
+        assert np.array_equal(vec, scalar)
+
+    def test_densest_subgraph_optimum(self, small_graph):
+        vals = densest_subgraph_values(small_graph, DickeSpace(6, 3).bits)
+        assert densest_subgraph_optimum(small_graph, 3) == vals.max()
+
+    def test_vertex_cover_manual(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert vertex_cover(g, np.array([0, 1, 1, 0])) == 3
+        assert vertex_cover(g, np.array([1, 0, 0, 1])) == 2
+        assert uncovered_edges(g, np.array([1, 0, 0, 1])) == [(1, 2)]
+
+    def test_vertex_cover_vectorized(self, small_graph, dicke_space_63):
+        bits = dicke_space_63.bits
+        vec = vertex_cover_values(small_graph, bits)
+        scalar = np.array([vertex_cover(small_graph, bits[i]) for i in range(len(bits))])
+        assert np.array_equal(vec, scalar)
+
+    def test_vertex_cover_optimum(self, small_graph):
+        vals = vertex_cover_values(small_graph, DickeSpace(6, 3).bits)
+        assert vertex_cover_optimum(small_graph, 3) == vals.max()
+
+    def test_complementarity_identity(self, small_graph, rng):
+        """For any subset S: cover(S) + inside(V\\S) = |E|."""
+        m = small_graph.number_of_edges()
+        for _ in range(20):
+            x = rng.integers(0, 2, size=6)
+            assert vertex_cover(small_graph, x) + densest_subgraph(small_graph, 1 - x) == m
+
+    def test_full_selection_covers_everything(self, small_graph):
+        m = small_graph.number_of_edges()
+        assert vertex_cover(small_graph, np.ones(6)) == m
+        assert densest_subgraph(small_graph, np.ones(6)) == m
+
+
+@given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_property_cut_plus_uncut_equals_edges(n, seed):
+    graph = erdos_renyi(n, 0.5, seed=seed)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=n)
+    cut = maxcut(graph, x)
+    inside = densest_subgraph(graph, x) + densest_subgraph(graph, 1 - x)
+    assert cut + inside == graph.number_of_edges()

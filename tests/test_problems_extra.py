@@ -1,0 +1,155 @@
+"""Tests for the extra objectives (MIS, number partitioning, Ising, QUBO) and thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hilbert import state_matrix
+from repro.problems import graph_from_edges
+from repro.problems.extra import (
+    ising_energy,
+    ising_energy_values,
+    max_independent_set,
+    max_independent_set_values,
+    number_partition,
+    number_partition_values,
+    qubo_value,
+    qubo_values,
+)
+from repro.problems.threshold import ThresholdSchedule, threshold_cost, threshold_values
+
+
+class TestMaxIndependentSet:
+    def test_independent_set_scores_size(self):
+        g = graph_from_edges(4, [(0, 1), (2, 3)])
+        assert max_independent_set(g, np.array([1, 0, 1, 0])) == 2
+        assert max_independent_set(g, np.array([0, 0, 0, 0])) == 0
+
+    def test_violations_penalized(self):
+        g = graph_from_edges(3, [(0, 1)])
+        assert max_independent_set(g, np.array([1, 1, 0]), penalty=2.0) == 0.0
+        assert max_independent_set(g, np.array([1, 1, 1]), penalty=3.0) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        bits = state_matrix(5)
+        vec = max_independent_set_values(g, bits, penalty=1.5)
+        scalar = np.array([max_independent_set(g, bits[i], penalty=1.5) for i in range(32)])
+        assert np.allclose(vec, scalar)
+
+    def test_optimum_is_true_mis_with_large_penalty(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])  # 5-cycle
+        vals = max_independent_set_values(g, state_matrix(5), penalty=10.0)
+        assert vals.max() == 2  # MIS of a 5-cycle has size 2
+
+
+class TestNumberPartition:
+    def test_perfect_partition_scores_zero(self):
+        weights = [1.0, 2.0, 3.0]
+        assert number_partition(weights, np.array([1, 1, 0])) == 0.0
+
+    def test_values_nonpositive(self, rng):
+        weights = rng.random(6)
+        vals = number_partition_values(weights, state_matrix(6))
+        assert np.all(vals <= 1e-12)
+
+    def test_symmetry_under_complement(self, rng):
+        weights = rng.random(5)
+        bits = state_matrix(5)
+        vals = number_partition_values(weights, bits)
+        flipped = number_partition_values(weights, 1 - bits)
+        assert np.allclose(vals, flipped)
+
+    def test_vectorized_matches_scalar(self, rng):
+        weights = rng.random(5)
+        bits = state_matrix(5)
+        vec = number_partition_values(weights, bits)
+        scalar = np.array([number_partition(weights, bits[i]) for i in range(32)])
+        assert np.allclose(vec, scalar)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            number_partition([1.0, 2.0], np.array([1, 0, 1]))
+
+
+class TestIsingAndQubo:
+    def test_ising_manual(self):
+        h = np.array([1.0, -1.0])
+        J = np.zeros((2, 2))
+        J[0, 1] = 0.5
+        # x = [0, 0] -> s = [-1, -1]: E = -1 + 1 + 0.5 = 0.5
+        assert np.isclose(ising_energy(h, J, np.array([0, 0])), 0.5)
+        # x = [1, 0] -> s = [1, -1]: E = 1 + 1 - 0.5 = 1.5
+        assert np.isclose(ising_energy(h, J, np.array([1, 0])), 1.5)
+
+    def test_ising_vectorized_matches_scalar(self, rng):
+        n = 5
+        h = rng.normal(size=n)
+        J = rng.normal(size=(n, n))
+        bits = state_matrix(n)
+        vec = ising_energy_values(h, J, bits)
+        scalar = np.array([ising_energy(h, J, bits[i]) for i in range(32)])
+        assert np.allclose(vec, scalar)
+
+    def test_ising_shape_validation(self):
+        with pytest.raises(ValueError):
+            ising_energy(np.zeros(3), np.zeros((2, 2)), np.zeros(3))
+
+    def test_qubo_manual(self):
+        Q = np.array([[1.0, 2.0], [0.0, 3.0]])
+        assert qubo_value(Q, np.array([1, 1])) == 6.0
+        assert qubo_value(Q, np.array([1, 0])) == 1.0
+        assert qubo_value(Q, np.array([0, 0])) == 0.0
+
+    def test_qubo_vectorized_matches_scalar(self, rng):
+        Q = rng.normal(size=(4, 4))
+        bits = state_matrix(4)
+        vec = qubo_values(Q, bits)
+        scalar = np.array([qubo_value(Q, bits[i]) for i in range(16)])
+        assert np.allclose(vec, scalar)
+
+
+class TestThreshold:
+    def test_threshold_values_inclusive_vs_strict(self):
+        vals = np.array([0.0, 1.0, 2.0, 3.0])
+        assert np.array_equal(threshold_values(vals, 2.0), [0, 0, 1, 1])
+        assert np.array_equal(threshold_values(vals, 2.0, strict=True), [0, 0, 0, 1])
+
+    def test_threshold_cost_wrapper(self):
+        base = lambda x: float(np.sum(x))  # noqa: E731
+        wrapped = threshold_cost(base, 2.0)
+        assert wrapped(np.array([1, 1, 0])) == 1.0
+        assert wrapped(np.array([1, 0, 0])) == 0.0
+        strict = threshold_cost(base, 2.0, strict=True)
+        assert strict(np.array([1, 1, 0])) == 0.0
+
+    def test_schedule_advances_through_distinct_values(self):
+        schedule = ThresholdSchedule(np.array([3.0, 1.0, 2.0, 2.0]))
+        assert schedule.current == 1.0
+        assert schedule.advance() == 2.0
+        assert schedule.advance() == 3.0
+        assert schedule.exhausted
+        assert schedule.advance() == 3.0  # saturates
+        schedule.reset()
+        assert schedule.current == 1.0
+        assert list(schedule) == [1.0, 2.0, 3.0]
+
+    def test_schedule_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ThresholdSchedule(np.array([]))
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+@settings(max_examples=30)
+def test_property_threshold_indicator_binary(n, threshold):
+    rng = np.random.default_rng(0)
+    vals = rng.normal(size=1 << n)
+    indicator = threshold_values(vals, threshold)
+    assert set(np.unique(indicator)).issubset({0.0, 1.0})
+    assert indicator.sum() == np.count_nonzero(vals >= threshold)

@@ -1,0 +1,97 @@
+"""Tests for the graph workload generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems.graphs import (
+    adjacency_matrix,
+    complete_graph,
+    edge_array,
+    erdos_renyi,
+    graph_from_edges,
+    random_regular,
+    ring_graph,
+    validate_graph,
+)
+
+
+class TestGenerators:
+    def test_erdos_renyi_deterministic_by_seed(self):
+        g1 = erdos_renyi(10, 0.5, seed=3)
+        g2 = erdos_renyi(10, 0.5, seed=3)
+        g3 = erdos_renyi(10, 0.5, seed=4)
+        assert set(g1.edges()) == set(g2.edges())
+        assert g1.number_of_nodes() == 10
+        # Different seeds should (for these sizes) give different graphs.
+        assert set(g1.edges()) != set(g3.edges())
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi(6, 0.0, seed=1).number_of_edges() == 0
+        assert erdos_renyi(6, 1.0, seed=1).number_of_edges() == 15
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_random_regular(self):
+        g = random_regular(8, 3, seed=1)
+        assert all(d == 3 for _, d in g.degree())
+        with pytest.raises(ValueError):
+            random_regular(7, 3)
+
+    def test_complete_and_ring(self):
+        assert complete_graph(5).number_of_edges() == 10
+        ring = ring_graph(6)
+        assert ring.number_of_edges() == 6
+        assert all(d == 2 for _, d in ring.degree())
+
+    def test_graph_from_edges(self):
+        g = graph_from_edges(4, [(0, 1), (2, 3)])
+        assert g.number_of_nodes() == 4
+        assert set(g.edges()) == {(0, 1), (2, 3)}
+
+    def test_graph_from_edges_validation(self):
+        with pytest.raises(ValueError):
+            graph_from_edges(3, [(0, 3)])
+        with pytest.raises(ValueError):
+            graph_from_edges(3, [(1, 1)])
+
+
+class TestHelpers:
+    def test_edge_array_sorted_and_shape(self):
+        g = graph_from_edges(5, [(3, 1), (0, 4), (2, 0)])
+        edges = edge_array(g)
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        assert edges.tolist() == sorted(edges.tolist())
+
+    def test_edge_array_empty(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        assert edge_array(g).shape == (0, 2)
+
+    def test_adjacency_matrix_symmetric(self):
+        g = erdos_renyi(7, 0.5, seed=2)
+        adj = adjacency_matrix(g)
+        assert adj.shape == (7, 7)
+        assert np.array_equal(adj, adj.T)
+        assert adj.sum() == 2 * g.number_of_edges()
+        assert np.all(np.diag(adj) == 0)
+
+    def test_validate_graph_rejects_bad_labels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            validate_graph(g)
+
+    def test_validate_graph_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        g.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            validate_graph(g)

@@ -1,0 +1,78 @@
+"""Tests for the ProblemInstance registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import PROBLEM_NAMES, make_problem
+
+
+class TestMakeProblem:
+    @pytest.mark.parametrize("name", PROBLEM_NAMES)
+    def test_builds_every_family(self, name):
+        problem = make_problem(name, 6, seed=1)
+        assert problem.name == name
+        assert problem.n == 6
+        vals = problem.objective_values()
+        assert vals.shape == (problem.space.dim,)
+        assert np.isfinite(vals).all()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_problem("travelling_salesman", 6)
+
+    def test_unconstrained_use_full_space(self):
+        assert make_problem("maxcut", 5).space.is_full
+        assert make_problem("ksat", 5).space.is_full
+
+    def test_constrained_use_dicke_space(self):
+        dks = make_problem("densest_subgraph", 6, k=2)
+        assert dks.space.hamming_weight == 2
+        assert dks.space.dim == 15
+        kvc = make_problem("vertex_cover", 6)
+        assert kvc.space.hamming_weight == 3  # defaults to n // 2
+
+    def test_deterministic_in_seed(self):
+        a = make_problem("maxcut", 8, seed=5).objective_values()
+        b = make_problem("maxcut", 8, seed=5).objective_values()
+        c = make_problem("maxcut", 8, seed=6).objective_values()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_objective_values_cached(self):
+        problem = make_problem("maxcut", 6, seed=2)
+        first = problem.objective_values()
+        second = problem.objective_values()
+        assert first is second
+
+    def test_optimum_and_optimal_states(self):
+        problem = make_problem("maxcut", 6, seed=3)
+        vals = problem.objective_values()
+        assert problem.optimum() == vals.max()
+        labels = problem.optimal_states()
+        assert len(labels) >= 1
+        for label in labels:
+            idx = problem.space.index_of(int(label))
+            assert vals[idx] == problem.optimum()
+
+    def test_approximation_ratio(self):
+        problem = make_problem("maxcut", 6, seed=3)
+        assert np.isclose(problem.approximation_ratio(problem.optimum()), 1.0)
+        assert problem.approximation_ratio(0.0) == 0.0
+
+    def test_scalar_cost_matches_vectorized(self):
+        for name in PROBLEM_NAMES:
+            problem = make_problem(name, 6, seed=4)
+            bits = problem.space.bits
+            sample = [0, len(bits) // 2, len(bits) - 1]
+            for idx in sample:
+                assert problem.cost(bits[idx]) == pytest.approx(
+                    problem.objective_values()[idx]
+                )
+
+    def test_ksat_metadata(self):
+        problem = make_problem("ksat", 6, seed=0, clause_density=4.0, sat_k=2)
+        inst = problem.metadata["instance"]
+        assert inst.k == 2
+        assert inst.num_clauses == 24

@@ -1,0 +1,88 @@
+"""Tests for weighted-graph objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import random_angles, simulate
+from repro.hilbert import state_matrix
+from repro.mixers import transverse_field_mixer
+from repro.problems import erdos_renyi, graph_from_edges, maxcut_values
+from repro.problems.weighted import (
+    edge_weights,
+    random_weighted_graph,
+    weighted_maxcut,
+    weighted_maxcut_optimum,
+    weighted_maxcut_values,
+)
+
+
+class TestWeightedGraphs:
+    def test_generator_assigns_weights_in_range(self):
+        graph = random_weighted_graph(8, 0.5, seed=1, low=0.5, high=2.0)
+        weights = edge_weights(graph)
+        assert weights.size == graph.number_of_edges()
+        assert np.all((weights >= 0.5) & (weights < 2.0))
+
+    def test_generator_deterministic(self):
+        a = edge_weights(random_weighted_graph(8, 0.5, seed=3))
+        b = edge_weights(random_weighted_graph(8, 0.5, seed=3))
+        assert np.allclose(a, b)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_weighted_graph(5, 0.5, low=1.0, high=1.0)
+
+    def test_unweighted_graph_defaults_to_unit_weights(self, small_graph):
+        assert np.allclose(edge_weights(small_graph), 1.0)
+
+
+class TestWeightedMaxCut:
+    def test_manual_values(self):
+        graph = graph_from_edges(3, [(0, 1), (1, 2)])
+        graph[0][1]["weight"] = 2.0
+        graph[1][2]["weight"] = 0.5
+        assert weighted_maxcut(graph, np.array([1, 0, 0])) == 2.0
+        assert weighted_maxcut(graph, np.array([0, 1, 0])) == 2.5
+        assert weighted_maxcut(graph, np.array([0, 0, 0])) == 0.0
+
+    def test_reduces_to_unweighted(self, small_graph):
+        bits = state_matrix(6)
+        assert np.allclose(
+            weighted_maxcut_values(small_graph, bits), maxcut_values(small_graph, bits)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        graph = random_weighted_graph(6, 0.6, seed=5)
+        bits = state_matrix(6)
+        vec = weighted_maxcut_values(graph, bits)
+        scalar = np.array([weighted_maxcut(graph, bits[i]) for i in range(64)])
+        assert np.allclose(vec, scalar)
+
+    def test_complement_symmetry(self):
+        graph = random_weighted_graph(7, 0.5, seed=6)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, size=7)
+            assert np.isclose(weighted_maxcut(graph, x), weighted_maxcut(graph, 1 - x))
+
+    def test_optimum_matches_vector_max(self):
+        graph = random_weighted_graph(7, 0.5, seed=7)
+        vals = weighted_maxcut_values(graph, state_matrix(7))
+        assert np.isclose(weighted_maxcut_optimum(graph), vals.max())
+
+    def test_shape_validation(self):
+        graph = random_weighted_graph(5, 0.5, seed=8)
+        with pytest.raises(ValueError):
+            weighted_maxcut(graph, np.zeros(4))
+        with pytest.raises(ValueError):
+            weighted_maxcut_values(graph, np.zeros((3, 4)))
+
+    def test_simulation_with_real_valued_objective(self):
+        """The simulator is agnostic to non-integer objective values."""
+        graph = random_weighted_graph(6, 0.5, seed=9)
+        obj = weighted_maxcut_values(graph, state_matrix(6))
+        res = simulate(random_angles(2, rng=1), transverse_field_mixer(6), obj)
+        assert np.isclose(res.norm(), 1.0)
+        assert obj.min() - 1e-9 <= res.expectation() <= obj.max() + 1e-9

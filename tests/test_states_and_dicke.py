@@ -1,0 +1,140 @@
+"""Tests for repro.hilbert.states and repro.hilbert.dicke."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hilbert.dicke import (
+    dicke_dim,
+    dicke_labels,
+    dicke_state_matrix,
+    dicke_statevector,
+    dicke_statevector_full,
+    dicke_states,
+    rank_state,
+    subspace_index_map,
+    unrank_state,
+)
+from repro.hilbert.states import (
+    basis_state,
+    hamming_weights,
+    num_states,
+    state_labels,
+    state_matrix,
+    states,
+    uniform_superposition,
+)
+
+
+class TestStates:
+    def test_num_states(self):
+        assert num_states(0) == 1
+        assert num_states(5) == 32
+        with pytest.raises(ValueError):
+            num_states(-1)
+
+    def test_states_iterator_matches_labels(self):
+        n = 4
+        listed = list(states(n))
+        assert len(listed) == 16
+        for label, bits in enumerate(listed):
+            assert sum(int(b) << i for i, b in enumerate(bits)) == label
+
+    def test_state_matrix_rows_are_labels(self):
+        n = 5
+        mat = state_matrix(n)
+        assert mat.shape == (32, 5)
+        weights = mat.sum(axis=1)
+        assert np.array_equal(weights, hamming_weights(n))
+
+    def test_state_labels_range(self):
+        assert np.array_equal(state_labels(3), np.arange(8))
+
+    def test_dense_limit_enforced(self):
+        with pytest.raises(ValueError):
+            state_labels(31)
+
+    def test_uniform_superposition_normalized(self):
+        psi = uniform_superposition(6)
+        assert psi.shape == (64,)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+        assert np.allclose(psi, psi[0])
+
+    def test_basis_state(self):
+        psi = basis_state(4, 5)
+        assert psi[5] == 1.0
+        assert np.count_nonzero(psi) == 1
+        with pytest.raises(ValueError):
+            basis_state(4, 16)
+
+
+class TestDicke:
+    def test_dim(self):
+        assert dicke_dim(6, 3) == 20
+        assert dicke_dim(6, 0) == 1
+        assert dicke_dim(6, 6) == 1
+        with pytest.raises(ValueError):
+            dicke_dim(4, 5)
+
+    def test_labels_sorted_and_correct_weight(self):
+        labels = dicke_labels(7, 3)
+        assert len(labels) == comb(7, 3)
+        assert np.all(np.diff(labels) > 0)
+        assert all(bin(int(x)).count("1") == 3 for x in labels)
+
+    def test_states_iterator_matches_matrix(self):
+        listed = np.array(list(dicke_states(6, 2)))
+        assert np.array_equal(listed, dicke_state_matrix(6, 2))
+
+    def test_statevector_subspace_normalized_uniform(self):
+        psi = dicke_statevector(6, 3)
+        assert psi.shape == (20,)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+        assert np.allclose(psi, psi[0])
+
+    def test_statevector_full_support(self):
+        psi = dicke_statevector_full(6, 2)
+        assert psi.shape == (64,)
+        support = np.flatnonzero(psi)
+        assert np.array_equal(support, dicke_labels(6, 2))
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+
+    def test_rank_unrank_roundtrip(self):
+        n, k = 8, 3
+        labels = dicke_labels(n, k)
+        for idx, label in enumerate(labels):
+            assert rank_state(int(label), n, k) == idx
+            assert unrank_state(idx, n, k) == int(label)
+
+    def test_rank_rejects_wrong_weight(self):
+        with pytest.raises(ValueError):
+            rank_state(0b0111, 6, 2)
+
+    def test_rank_rejects_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            rank_state(1 << 7, 6, 1)
+
+    def test_unrank_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            unrank_state(comb(6, 3), 6, 3)
+
+    def test_subspace_index_map(self):
+        mapping = subspace_index_map(5, 2)
+        labels = dicke_labels(5, 2)
+        assert len(mapping) == len(labels)
+        for idx, label in enumerate(labels):
+            assert mapping[int(label)] == idx
+
+    @given(st.integers(min_value=1, max_value=14), st.data())
+    @settings(max_examples=40)
+    def test_property_rank_unrank(self, n, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        index = data.draw(st.integers(min_value=0, max_value=comb(n, k) - 1))
+        label = unrank_state(index, n, k)
+        assert bin(label).count("1") == k
+        assert rank_state(label, n, k) == index

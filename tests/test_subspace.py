@@ -1,0 +1,111 @@
+"""Tests for the FeasibleSpace abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hilbert import CustomSpace, DickeSpace, FeasibleSpace, FullSpace
+from repro.problems import maxcut, maxcut_values
+
+
+class TestFullSpace:
+    def test_geometry(self):
+        space = FullSpace(5)
+        assert space.n == 5
+        assert space.dim == 32
+        assert space.is_full
+        assert len(space) == 32
+        assert space.hamming_weight is None
+
+    def test_bits_matrix(self):
+        space = FullSpace(4)
+        bits = space.bits
+        assert bits.shape == (16, 4)
+        # row i encodes label i (qubit 0 = LSB)
+        assert np.array_equal(bits[5], [1, 0, 1, 0])
+
+    def test_initial_state(self):
+        psi = FullSpace(3).initial_state()
+        assert np.allclose(psi, 1 / np.sqrt(8))
+
+    def test_evaluate_scalar_vs_vectorized(self, small_graph):
+        space = FullSpace(6)
+        scalar = space.evaluate(lambda x: maxcut(small_graph, x))
+        vectorized = space.evaluate_vectorized(lambda b: maxcut_values(small_graph, b))
+        assert np.allclose(scalar, vectorized)
+
+    def test_evaluate_vectorized_shape_check(self):
+        space = FullSpace(3)
+        with pytest.raises(ValueError):
+            space.evaluate_vectorized(lambda bits: np.zeros(5))
+
+
+class TestDickeSpace:
+    def test_geometry(self):
+        space = DickeSpace(6, 2)
+        assert space.dim == 15
+        assert not space.is_full
+        assert space.hamming_weight == 2
+        assert all(bin(int(x)).count("1") == 2 for x in space.labels)
+
+    def test_embed_project_roundtrip(self, rng):
+        space = DickeSpace(6, 3)
+        sub = rng.normal(size=space.dim) + 1j * rng.normal(size=space.dim)
+        full = space.embed(sub)
+        assert full.shape == (64,)
+        assert np.allclose(space.project(full), sub)
+        # Everything outside the subspace is zero.
+        mask = np.ones(64, dtype=bool)
+        mask[space.labels] = False
+        assert np.allclose(full[mask], 0.0)
+
+    def test_embed_shape_check(self):
+        with pytest.raises(ValueError):
+            DickeSpace(5, 2).embed(np.zeros(3))
+
+    def test_project_shape_check(self):
+        with pytest.raises(ValueError):
+            DickeSpace(5, 2).project(np.zeros(16))
+
+    def test_index_of(self):
+        space = DickeSpace(5, 2)
+        for idx, label in enumerate(space.labels):
+            assert space.index_of(int(label)) == idx
+        with pytest.raises(KeyError):
+            space.index_of(0)  # weight 0 is infeasible
+
+
+class TestCustomSpace:
+    def test_sorted_and_weight_detection(self):
+        space = CustomSpace(4, [9, 3, 12])  # all weight 2
+        assert np.array_equal(space.labels, [3, 9, 12])
+        assert space.hamming_weight == 2
+
+    def test_mixed_weights(self):
+        space = CustomSpace(4, [1, 3])
+        assert space.hamming_weight is None
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            FeasibleSpace(n=3, labels=np.array([1, 1, 2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FeasibleSpace(n=3, labels=np.array([8]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FeasibleSpace(n=3, labels=np.array([], dtype=np.int64))
+
+
+@given(st.integers(min_value=2, max_value=10), st.data())
+@settings(max_examples=25)
+def test_property_dicke_initial_state_normalized(n, data):
+    k = data.draw(st.integers(min_value=0, max_value=n))
+    space = DickeSpace(n, k)
+    psi = space.initial_state()
+    assert np.isclose(np.linalg.norm(psi), 1.0)
+    assert psi.shape == (space.dim,)
