@@ -1,0 +1,100 @@
+"""Batched vs scalar angle-evaluation throughput (the batching tentpole).
+
+Heavy sweep workloads (grid search, random-restart seeding) hammer the
+expectation-value call with many angle sets against one fixed problem.  The
+batched engine evaluates M angle sets as one ``(dim, M)`` matrix — BLAS-3
+GEMMs / batched transforms instead of M scalar evolutions — and this
+benchmark records the speedup trajectory in ``BENCH_batched_eval.json`` at
+the repo root so later PRs can track it.
+
+The acceptance floor: at (n=12, p=2, M=256) on the transverse-field mixer the
+batched path must be at least 3x the scalar loop's throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.timing import time_call
+from repro.bench.workloads import figure4_graph
+from repro.core import QAOAAnsatz
+from repro.hilbert import state_matrix
+from repro.mixers import grover_mixer, mixer_clique, transverse_field_mixer
+from repro.problems.maxcut import maxcut_values
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batched_eval.json"
+
+# (label, mixer factory over n, n, p, M); the x/12/2/256 row carries the
+# acceptance criterion, the others chart scaling in n, p and mixer type.
+_CONFIGS = [
+    ("x", lambda n: transverse_field_mixer(n), 10, 1, 64),
+    ("x", lambda n: transverse_field_mixer(n), 12, 2, 256),
+    ("x", lambda n: transverse_field_mixer(n), 8, 3, 128),
+    ("grover", lambda n: grover_mixer(n), 12, 2, 256),
+    ("clique", lambda n: mixer_clique(n, n // 2), 10, 2, 128),
+]
+
+
+def _measure(label: str, mixer_factory, n: int, p: int, M: int) -> dict:
+    mixer = mixer_factory(n)
+    if label == "clique":
+        # constrained Dicke subspace: a synthetic objective over the C(n, k) states
+        obj = np.random.default_rng(17).random(mixer.dim)
+    else:
+        obj = maxcut_values(figure4_graph(n), state_matrix(n))
+    ansatz = QAOAAnsatz(obj, mixer, p)
+    rng = np.random.default_rng(20230923 + n + p)
+    angles = 2.0 * np.pi * rng.random((M, ansatz.num_angles))
+
+    def scalar_loop():
+        values = np.empty(M)
+        for j in range(M):
+            values[j] = ansatz.expectation(angles[j])
+        return values
+
+    def batched():
+        return ansatz.expectation_batch(angles)
+
+    # correctness first: the two paths must agree well below the 1e-10 gate
+    mismatch = float(np.abs(scalar_loop() - batched()).max())
+    assert mismatch <= 1e-10, f"batched/scalar disagree by {mismatch}"
+
+    scalar_s = time_call(scalar_loop, repeats=3, warmup=1)["min"]
+    batched_s = time_call(batched, repeats=3, warmup=1)["min"]
+    return {
+        "mixer": label,
+        "n": n,
+        "p": p,
+        "M": M,
+        "dim": ansatz.schedule.dim,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_evals_per_s": M / scalar_s,
+        "batched_evals_per_s": M / batched_s,
+        "speedup": scalar_s / batched_s,
+        "max_abs_mismatch": mismatch,
+    }
+
+
+@pytest.mark.slow
+def test_batched_throughput_and_record():
+    records = [_measure(*config) for config in _CONFIGS]
+    payload = {
+        "benchmark": "batched_eval",
+        "unit": "seconds (min of 3 after warmup)",
+        "numpy": np.__version__,
+        "records": records,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    gate = next(
+        r for r in records if (r["mixer"], r["n"], r["p"], r["M"]) == ("x", 12, 2, 256)
+    )
+    assert gate["speedup"] >= 3.0, (
+        f"batched evaluation only {gate['speedup']:.2f}x over the scalar loop "
+        f"at (n=12, p=2, M=256); acceptance requires >= 3x"
+    )

@@ -23,12 +23,14 @@ Quickstart (mirrors the paper's Listing 1)::
 """
 
 from .core import (
+    BatchedWorkspace,
     EvaluationCounter,
     PrecomputedCost,
     QAOAAnsatz,
     QAOAResult,
     Workspace,
     expectation_value,
+    expectation_value_batch,
     get_exp_value,
     precompute_cost,
     qaoa_finite_difference_gradient,
@@ -36,6 +38,7 @@ from .core import (
     qaoa_value_and_gradient,
     random_angles,
     simulate,
+    simulate_batch,
 )
 from .hilbert import (
     DickeSpace,
@@ -77,12 +80,14 @@ from .problems import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchedWorkspace",
     "EvaluationCounter",
     "PrecomputedCost",
     "QAOAAnsatz",
     "QAOAResult",
     "Workspace",
     "expectation_value",
+    "expectation_value_batch",
     "get_exp_value",
     "precompute_cost",
     "qaoa_finite_difference_gradient",
@@ -90,6 +95,7 @@ __all__ = [
     "qaoa_value_and_gradient",
     "random_angles",
     "simulate",
+    "simulate_batch",
     "DickeSpace",
     "FeasibleSpace",
     "FullSpace",

@@ -13,13 +13,17 @@ from .precompute import PrecomputedCost, precompute_cost
 from .simulator import (
     QAOAResult,
     evolve_state,
+    evolve_state_batch,
     expectation_value,
+    expectation_value_batch,
     get_exp_value,
     random_angles,
     simulate,
+    simulate_batch,
     split_angles,
+    split_angles_batch,
 )
-from .workspace import Workspace
+from .workspace import BatchedWorkspace, Workspace
 
 __all__ = [
     "QAOAAnsatz",
@@ -36,10 +40,15 @@ __all__ = [
     "precompute_cost",
     "QAOAResult",
     "evolve_state",
+    "evolve_state_batch",
     "expectation_value",
+    "expectation_value_batch",
     "get_exp_value",
     "random_angles",
     "simulate",
+    "simulate_batch",
     "split_angles",
+    "split_angles_batch",
+    "BatchedWorkspace",
     "Workspace",
 ]

@@ -19,8 +19,8 @@ from ..mixers.base import Mixer
 from ..mixers.schedules import MixerSchedule
 from .gradients import EvaluationCounter, qaoa_finite_difference_gradient, qaoa_value_and_gradient
 from .precompute import PrecomputedCost
-from .simulator import QAOAResult, expectation_value, simulate
-from .workspace import Workspace
+from .simulator import QAOAResult, expectation_value, expectation_value_batch, simulate
+from .workspace import BatchedWorkspace, Workspace
 
 __all__ = ["QAOAAnsatz"]
 
@@ -90,6 +90,9 @@ class QAOAAnsatz:
         self.initial_state = initial_state
         self.maximize = bool(maximize)
         self.workspace = Workspace(schedule.dim)
+        # Lazily created on the first expectation_batch call; grown (never
+        # shrunk) to the largest batch seen, then reused across every sweep.
+        self._batched_workspace: BatchedWorkspace | None = None
         #: evaluation bookkeeping shared by value and gradient calls
         self.counter = EvaluationCounter()
 
@@ -125,6 +128,31 @@ class QAOAAnsatz:
             self.cost.values,
             initial_state=self.initial_state,
             workspace=self.workspace,
+        )
+
+    def expectation_batch(self, angles: np.ndarray) -> np.ndarray:
+        """``<C>`` for every row of an ``(M, num_angles)`` angle matrix.
+
+        The batched inner loop of sweep-style angle finding: all M angle sets
+        evolve simultaneously as a ``(dim, M)`` state matrix through the
+        shared, pre-allocated :class:`BatchedWorkspace`.  Returns a ``(M,)``
+        float array; a single flat angle vector yields a length-1 array.
+        """
+        angles = np.asarray(angles, dtype=np.float64)
+        if angles.ndim == 1:
+            angles = angles[None, :]
+        batch = angles.shape[0]
+        if self._batched_workspace is None:
+            self._batched_workspace = BatchedWorkspace(self.schedule.dim, batch)
+        else:
+            self._batched_workspace.ensure(batch)
+        self.counter.forward_passes += batch
+        return expectation_value_batch(
+            angles,
+            self.schedule,
+            self.cost,
+            initial_state=self.initial_state,
+            workspace=self._batched_workspace,
         )
 
     def value_and_gradient(self, angles: np.ndarray) -> tuple[float, np.ndarray]:

@@ -92,6 +92,18 @@ class PrecomputedCost:
         distinct, counts = np.unique(self.values, return_counts=True)
         return distinct, counts
 
+    def phase_levels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct objective values and per-state inverse indices (cached).
+
+        The batched evolution uses this to exponentiate separator phases over
+        the (usually tiny) set of distinct cost levels and gather, instead of
+        over the full ``(dim, M)`` matrix, on every round of every sweep
+        chunk.  Computed once per cost object.
+        """
+        if not hasattr(self, "_phase_levels"):
+            self._phase_levels = np.unique(self.values, return_inverse=True)
+        return self._phase_levels
+
     def signed_for_minimization(self) -> np.ndarray:
         """Objective values with the sign flipped so that *minimizing* them solves the problem."""
         return -self.values if self.maximize else self.values

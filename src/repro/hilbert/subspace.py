@@ -59,8 +59,18 @@ class FeasibleSpace:
             raise ValueError("a feasible space must contain at least one state")
         if labels.min() < 0 or (self.n < 63 and labels.max() >= (1 << self.n)):
             raise ValueError("labels out of range for the given number of qubits")
+        # Canonical order is ascending: index_of's binary search relies on it,
+        # so a directly-constructed space with unsorted labels used to return
+        # wrong indices silently.  Sorting here would instead silently permute
+        # the basis out from under any caller-supplied per-state arrays, so
+        # unsorted input is rejected loudly (CustomSpace sorts for you).
         if len(np.unique(labels)) != len(labels):
             raise ValueError("feasible-state labels must be unique")
+        if labels.size > 1 and np.any(labels[1:] < labels[:-1]):
+            raise ValueError(
+                "feasible-state labels must be in ascending order (the canonical "
+                "basis order); use CustomSpace(...) to sort arbitrary label lists"
+            )
         object.__setattr__(self, "labels", labels)
 
     # -- basic geometry -------------------------------------------------

@@ -23,6 +23,7 @@ but never mutate their inputs unless an explicit ``out`` buffer is provided.
 from __future__ import annotations
 
 import abc
+import threading
 
 import numpy as np
 
@@ -69,6 +70,86 @@ class Mixer(abc.ABC):
     @abc.abstractmethod
     def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Return ``H_M |psi>`` (used by analytic gradients)."""
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Return ``exp(-i beta_j H_M) |psi_j>`` for every column ``j`` of ``Psi``.
+
+        ``Psi`` is a ``(dim, M)`` matrix whose columns are M independent
+        statevectors and ``betas`` holds one angle per column (multi-angle
+        mixers instead take a ``(num_angles, M)`` matrix).  ``out`` may alias
+        ``Psi``.  ``workspace`` optionally supplies pre-allocated scratch (a
+        :class:`~repro.core.workspace.BatchedWorkspace` of matching
+        dimension).
+
+        This base implementation loops over columns through :meth:`apply`;
+        subclasses override it with BLAS-3 / fully vectorized batch kernels,
+        which is where the batched evaluation engine's throughput comes from.
+        """
+        Psi = np.asarray(Psi)
+        if Psi.ndim != 2 or Psi.shape[0] != self.dim:
+            raise ValueError(
+                f"batched statevectors have shape {Psi.shape}, expected "
+                f"({self.dim}, M) for {self!r}"
+            )
+        M = Psi.shape[1]
+        betas = np.asarray(betas, dtype=np.float64)
+        if betas.ndim == 0:
+            betas = np.full(M, float(betas))
+        if betas.shape[-1] != M:
+            raise ValueError(
+                f"betas have shape {betas.shape}, expected last axis of length {M}"
+            )
+        if out is None:
+            out = np.empty((self.dim, M), dtype=np.complex128)
+        column = np.empty(self.dim, dtype=np.complex128)
+        result = np.empty(self.dim, dtype=np.complex128)
+        for j in range(M):
+            column[:] = Psi[:, j]
+            beta_j = betas[..., j]
+            self.apply(column, float(beta_j) if beta_j.ndim == 0 else beta_j, out=result)
+            out[:, j] = result
+        return out
+
+    def _check_batch(
+        self, Psi: np.ndarray, out: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Validate a batched call; returns contiguous ``(Psi, out, M)``."""
+        Psi = np.asarray(Psi)
+        if Psi.ndim != 2 or Psi.shape[0] != self.dim:
+            raise ValueError(
+                f"batched statevectors have shape {Psi.shape}, expected "
+                f"({self.dim}, M) for {self!r}"
+            )
+        M = Psi.shape[1]
+        if Psi.dtype != np.complex128 or not Psi.flags.c_contiguous:
+            Psi = np.ascontiguousarray(Psi, dtype=np.complex128)
+        if out is None:
+            out = np.empty((self.dim, M), dtype=np.complex128)
+        elif out.shape != (self.dim, M):
+            raise ValueError(
+                f"out has shape {out.shape}, expected ({self.dim}, {M})"
+            )
+        return Psi, out, M
+
+    @staticmethod
+    def _batch_angles(betas: np.ndarray, M: int) -> np.ndarray:
+        """Normalize per-column angles to a float ``(M,)`` vector."""
+        betas = np.asarray(betas, dtype=np.float64)
+        if betas.ndim == 0:
+            betas = np.full(M, float(betas))
+        if betas.shape != (M,):
+            raise ValueError(f"betas have shape {betas.shape}, expected ({M},)")
+        return betas
 
     @abc.abstractmethod
     def matrix(self) -> np.ndarray:
@@ -129,27 +210,122 @@ class DiagonalizedMixer(Mixer):
             )
         self.eigenvalues = eigenvalues
         self.eigenvectors = eigenvectors
-        # V^† is materialized once so each apply is two GEMVs, no conjugations.
-        self._eigenvectors_dag = eigenvectors.conj().T.copy()
+        # Basis-change factors materialized once, contiguous, in their natural
+        # dtype.  A real eigenbasis (real-symmetric mixers such as XY) keeps
+        # float64 factors: basis changes then run as real GEMMs over the
+        # interleaved re/im view — half the flops of a complex GEMM and no
+        # per-call promotion of V to complex128.
+        self._real_basis = bool(np.isrealobj(eigenvectors))
+        dtype = np.float64 if self._real_basis else np.complex128
+        self._V = np.ascontiguousarray(eigenvectors, dtype=dtype)
+        self._Vdag = np.ascontiguousarray(self._V.conj().T)
+        # historical name, still used by matrix() and external callers
+        self._eigenvectors_dag = self._Vdag
+        # Per-call scratch (eigenbasis coefficients and the phase vector) so
+        # that apply()/apply_hamiltonian() allocate nothing when given ``out``.
+        # Kept thread-local: concurrent angle scans sharing one mixer would
+        # otherwise interleave writes to shared scratch and corrupt results.
+        self._scratch_store = threading.local()
 
-    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        coeffs = self._eigenvectors_dag @ psi
-        coeffs *= np.exp(-1j * beta * self.eigenvalues)
-        result = self.eigenvectors @ coeffs
-        if out is None:
-            return result
-        out[:] = result
+    def _scratches(self) -> tuple[np.ndarray, np.ndarray]:
+        """This thread's (coeff, phase) scratch vectors, allocated on first use."""
+        store = self._scratch_store
+        try:
+            return store.coeff, store.phase
+        except AttributeError:
+            store.coeff = np.empty(self.dim, dtype=np.complex128)
+            store.phase = np.empty(self.dim, dtype=np.complex128)
+            return store.coeff, store.phase
+
+    def _basis_change(self, factor: np.ndarray, src: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``factor @ src`` for complex ``src``/``out`` (1-D or 2-D), allocation-free.
+
+        With a real eigenbasis and contiguous operands the product runs as a
+        single real GEMM over the interleaved re/im float view, which is exact
+        (the factor is real) and avoids numpy's per-call complex promotion.
+        ``out`` must not alias ``src``.
+        """
+        if self._real_basis and src.flags.c_contiguous and out.flags.c_contiguous:
+            np.matmul(
+                factor,
+                src.view(np.float64).reshape(src.shape[0], -1),
+                out=out.view(np.float64).reshape(out.shape[0], -1),
+            )
+        else:
+            np.matmul(factor, src, out=out)
         return out
 
-    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        coeffs = self._eigenvectors_dag @ psi
-        coeffs *= self.eigenvalues
-        result = self.eigenvectors @ coeffs
+    def _as_complex_contiguous(self, psi: np.ndarray) -> np.ndarray:
+        if psi.dtype != np.complex128 or not psi.flags.c_contiguous:
+            psi = np.ascontiguousarray(psi, dtype=np.complex128)
+        return psi
+
+    def apply(
+        self,
+        psi: np.ndarray,
+        beta: float,
+        out: np.ndarray | None = None,
+        *,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        psi = self._as_complex_contiguous(self._check_state(psi))
+        coeff_scratch, phases = self._scratches()
+        coeffs = coeff_scratch if scratch is None else scratch
+        self._basis_change(self._Vdag, psi, coeffs)
+        np.multiply(self.eigenvalues, -1j * beta, out=phases)
+        np.exp(phases, out=phases)
+        coeffs *= phases
         if out is None:
-            return result
-        out[:] = result
+            out = np.empty(self.dim, dtype=np.complex128)
+        self._basis_change(self._V, coeffs, out)
+        return out
+
+    def apply_hamiltonian(
+        self,
+        psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        psi = self._as_complex_contiguous(self._check_state(psi))
+        coeffs = self._scratches()[0] if scratch is None else scratch
+        self._basis_change(self._Vdag, psi, coeffs)
+        coeffs *= self.eigenvalues
+        if out is None:
+            out = np.empty(self.dim, dtype=np.complex128)
+        self._basis_change(self._V, coeffs, out)
+        return out
+
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched layer: two GEMMs around a per-column eigenphase multiply."""
+        Psi, out, M = self._check_batch(Psi, out)
+        betas = self._batch_angles(betas, M)
+        if workspace is not None:
+            coeffs = workspace.scratch(M)
+            phases = workspace.phase(M)
+        else:
+            coeffs = np.empty((self.dim, M), dtype=np.complex128)
+            phases = np.empty((self.dim, M), dtype=np.complex128)
+        self._basis_change(self._Vdag, Psi, coeffs)
+        if M > 0 and betas.min() == betas.max():
+            # Uniform batch (every column shares one angle): a single phase
+            # vector broadcasts across columns, skipping the (dim, M) outer.
+            phase_vec = self._scratches()[1]
+            np.multiply(self.eigenvalues, -1j * float(betas[0]), out=phase_vec)
+            np.exp(phase_vec, out=phase_vec)
+            coeffs *= phase_vec[:, None]
+        else:
+            np.multiply(self.eigenvalues[:, None], -1j * betas[None, :], out=phases)
+            np.exp(phases, out=phases)
+            coeffs *= phases
+        self._basis_change(self._V, coeffs, out)
         return out
 
     def matrix(self) -> np.ndarray:

@@ -47,6 +47,7 @@ class GroverMixer(Mixer):
                 raise ValueError("initial state must be non-zero")
             initial = initial / norm
         self.psi0 = initial
+        self._psi0_conj = initial.conj()
 
     def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
         psi = self._check_state(psi)
@@ -57,6 +58,36 @@ class GroverMixer(Mixer):
         elif out is not psi:
             out[:] = psi
         out += factor * self.psi0
+        return out
+
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched rank-one update in ``O(dim * M)``.
+
+        One GEMV collects all M overlaps ``<psi0|psi_j>`` at once, then a
+        single outer-product update applies every column's phase factor — no
+        transforms or matrix products, matching the scalar path's cost per
+        statevector.
+        """
+        Psi, out, M = self._check_batch(Psi, out)
+        betas = self._batch_angles(betas, M)
+        overlaps = self._psi0_conj @ Psi
+        factors = (np.exp(-1j * betas) - 1.0) * overlaps
+        if out is not Psi:
+            out[:] = Psi
+        if workspace is not None:
+            update = np.multiply(
+                self.psi0[:, None], factors[None, :], out=workspace.scratch(M)
+            )
+            out += update
+        else:
+            out += self.psi0[:, None] * factors[None, :]
         return out
 
     def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

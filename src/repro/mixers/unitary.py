@@ -116,5 +116,34 @@ class FixedUnitaryMixer(DiagonalizedMixer):
         self.unitary = unitary
         super().__init__(space, -phases, W)
 
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched layer with a ``beta = 1`` fast path.
+
+        When every column uses ``beta = 1`` (the defining case: apply ``U``
+        itself), the layer is a single GEMM with the stored unitary — exact by
+        construction and half the work of the eigenbasis round trip through
+        ``i log(U)``.  Mixed angles fall back to the diagonalized batch path.
+        """
+        Psi, out, M = self._check_batch(Psi, out)
+        betas = self._batch_angles(betas, M)
+        if M > 0 and np.all(betas == 1.0):
+            if np.may_share_memory(out, Psi):
+                if workspace is not None:
+                    result = np.matmul(self.unitary, Psi, out=workspace.scratch(M))
+                else:
+                    result = self.unitary @ Psi
+                out[:] = result
+            else:
+                np.matmul(self.unitary, Psi, out=out)
+            return out
+        return super().apply_batch(Psi, betas, out=out, workspace=workspace)
+
     def cache_key(self) -> str:
         return f"{self.name}_dim{self.dim}"

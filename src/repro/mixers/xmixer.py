@@ -33,6 +33,7 @@ from .base import Mixer
 
 __all__ = [
     "walsh_hadamard_transform",
+    "walsh_hadamard_gemm",
     "x_term_diagonal",
     "XMixer",
     "mixer_x",
@@ -44,9 +45,11 @@ __all__ = [
 def walsh_hadamard_transform(psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Normalized Walsh–Hadamard transform ``H^{⊗n} |psi>`` in ``O(n 2^n)``.
 
-    The input length must be a power of two.  If ``out`` is provided the
-    result is written there (it may alias ``psi``); otherwise a new array is
-    returned and ``psi`` is left untouched.
+    ``psi`` is either a single statevector of power-of-two length or a
+    ``(dim, M)`` batch of column statevectors (the transform acts along axis
+    0, touching all M columns in each butterfly pass).  If ``out`` is provided
+    the result is written there (it may alias ``psi``); otherwise a new array
+    is returned and ``psi`` is left untouched.
     """
     psi = np.asarray(psi)
     dim = psi.shape[0]
@@ -58,17 +61,73 @@ def walsh_hadamard_transform(psi: np.ndarray, out: np.ndarray | None = None) -> 
         out = psi.astype(np.complex128, copy=True)
     elif out is not psi:
         out[:] = psi
+    if not out.flags.c_contiguous:
+        # The in-place butterfly requires reshape views; round-trip through a
+        # contiguous copy for exotic caller-supplied buffers.
+        out[:] = walsh_hadamard_transform(np.ascontiguousarray(out))
+        return out
 
+    tail = out.shape[1:]
     h = 1
     while h < dim:
-        view = out.reshape(-1, 2, h)
-        upper = view[:, 0, :] + view[:, 1, :]
-        lower = view[:, 0, :] - view[:, 1, :]
-        view[:, 0, :] = upper
-        view[:, 1, :] = lower
+        view = out.reshape(-1, 2, h, *tail)
+        upper = view[:, 0] + view[:, 1]
+        lower = view[:, 0] - view[:, 1]
+        view[:, 0] = upper
+        view[:, 1] = lower
         h *= 2
     out *= 2.0 ** (-n / 2.0)
     return out
+
+
+def _hadamard_factors(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Kronecker factors of the ``2^n`` Hadamard matrix, split at ``n // 2``.
+
+    ``H^{⊗n} = (H^{⊗kh} ⊗ I) (I ⊗ H^{⊗kl})`` with ``kh = n // 2`` high bits
+    and ``kl = n - kh`` low bits, so a batched transform is two dense real
+    GEMMs with ``2^kh`` / ``2^kl``-sized (i.e. ~``sqrt(dim)``) factors instead
+    of ``n`` bandwidth-bound butterfly passes over the whole batch.
+    """
+    from scipy.linalg import hadamard
+
+    kh = n // 2
+    kl = n - kh
+    h_hi = np.ascontiguousarray(hadamard(1 << kh), dtype=np.float64)
+    h_lo = np.ascontiguousarray(hadamard(1 << kl), dtype=np.float64)
+    return h_hi, h_lo
+
+
+def walsh_hadamard_gemm(
+    src: np.ndarray,
+    via: np.ndarray,
+    dst: np.ndarray,
+    h_hi: np.ndarray,
+    h_lo: np.ndarray,
+) -> np.ndarray:
+    """*Unnormalized* batched WHT of ``(dim, M)`` ``src`` into ``dst`` via two GEMMs.
+
+    Both GEMMs run on the interleaved re/im float view (the Hadamard factors
+    are ``±1`` real), which BLAS executes at full rate — multithreaded and far
+    above the bandwidth-bound butterfly for large batches.  ``via`` is the
+    intermediate buffer: it must be distinct from both ``src`` and ``dst``
+    (``src`` and ``dst`` may alias each other).  All three are C-contiguous
+    complex128 ``(dim, M)`` arrays.  The caller folds the ``2^{-n/2}``
+    normalization into its phase factors.  Returns ``dst``.
+    """
+    dim_hi = h_hi.shape[0]
+    dim_lo = h_lo.shape[0]
+    width = 2 * src.shape[1]  # float columns of the interleaved view
+    src_f = src.view(np.float64).reshape(dim_hi, dim_lo, width)
+    via_f = via.view(np.float64).reshape(dim_hi, dim_lo, width)
+    # low bits: one GEMM per high-bit block (a single batched BLAS call)
+    np.matmul(h_lo, src_f, out=via_f)
+    # high bits: one big GEMM over the flattened (low bits x batch) axis
+    np.matmul(
+        h_hi,
+        via_f.reshape(dim_hi, dim_lo * width),
+        out=dst.view(np.float64).reshape(dim_hi, dim_lo * width),
+    )
+    return dst
 
 
 def x_term_diagonal(terms: Sequence[Sequence[int]], coefficients: Sequence[float], n: int) -> np.ndarray:
@@ -126,6 +185,13 @@ class XMixer(Mixer):
         # The pre-computed Hadamard-basis diagonal: the only per-mixer data the
         # simulation loop ever touches.
         self.diagonal = x_term_diagonal(terms, coefficients, n)
+        # X-mixer spectra take few distinct values (the transverse field has
+        # n + 1), so batched eigenphases are an exp over (levels, M) plus a
+        # gather instead of an exp over the full (dim, M) matrix.
+        self._diag_values, self._diag_inverse = np.unique(
+            self.diagonal, return_inverse=True
+        )
+        self._hadamard_pair = _hadamard_factors(n)
         self._scratch = np.empty(self.dim, dtype=np.complex128)
 
     def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
@@ -136,6 +202,50 @@ class XMixer(Mixer):
         if out is None:
             out = np.empty_like(scratch)
         walsh_hadamard_transform(scratch, out=out)
+        return out
+
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched layer: two GEMM-based WHTs around a per-column phase multiply.
+
+        The Hadamard transform is factored into two ``~sqrt(dim)``-sized real
+        GEMMs (:func:`walsh_hadamard_gemm`), the ``2^{-n/2}`` normalizations
+        of both transforms are folded into the phase factors, and the phase
+        factors themselves come from a distinct-eigenvalue table — so a layer
+        costs four BLAS-3 calls plus two elementwise passes for all M angle
+        sets.
+        """
+        Psi, out, M = self._check_batch(Psi, out)
+        betas = self._batch_angles(betas, M)
+        if workspace is not None:
+            scratch = workspace.scratch(M)
+            phases = workspace.phase(M)
+        else:
+            scratch = np.empty((self.dim, M), dtype=np.complex128)
+            phases = np.empty((self.dim, M), dtype=np.complex128)
+        # eigenphases x (1/dim): the latter absorbs both transform norms
+        levels = self._diag_values
+        scale = 1.0 / self.dim
+        if levels.size * 4 <= self.dim:
+            table = np.empty((levels.size, M), dtype=np.complex128)
+            np.multiply(levels[:, None], -1j * betas[None, :], out=table)
+            np.exp(table, out=table)
+            table *= scale
+            np.take(table, self._diag_inverse, axis=0, out=phases)
+        else:
+            np.multiply(self.diagonal[:, None], -1j * betas[None, :], out=phases)
+            np.exp(phases, out=phases)
+            phases *= scale
+        h_hi, h_lo = self._hadamard_pair
+        walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+        out *= phases
+        walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
         return out
 
     def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -212,6 +322,10 @@ class MultiAngleXMixer(Mixer):
         self.term_diagonals = np.stack(
             [x_term_diagonal([t], [1.0], n) for t in terms], axis=0
         )
+        # (dim, num_terms) factor pre-scaled by -i, so the batched per-column
+        # phase exponents are a single GEMM with the (num_terms, M) angles.
+        self._term_diag_T_negj = np.ascontiguousarray(-1j * self.term_diagonals.T)
+        self._hadamard_pair = _hadamard_factors(n)
         self._scratch = np.empty(self.dim, dtype=np.complex128)
 
     @property
@@ -235,6 +349,48 @@ class MultiAngleXMixer(Mixer):
         if out is None:
             out = np.empty_like(scratch)
         walsh_hadamard_transform(scratch, out=out)
+        return out
+
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched multi-angle layer.
+
+        ``betas`` is a ``(num_angles, M)`` matrix — one angle per term per
+        column; a ``(M,)`` vector or scalar broadcasts across terms like the
+        scalar :meth:`apply`.  The per-column phase exponents are one GEMM
+        (``-i * D^T @ betas``), then the layer is two batched WHTs.
+        """
+        Psi, out, M = self._check_batch(Psi, out)
+        betas = np.asarray(betas, dtype=np.float64)
+        if betas.ndim == 0:
+            betas = np.full((self.num_angles, M), float(betas))
+        elif betas.ndim == 1:
+            if betas.shape != (M,):
+                raise ValueError(f"betas have shape {betas.shape}, expected ({M},)")
+            betas = np.broadcast_to(betas, (self.num_angles, M))
+        if betas.shape != (self.num_angles, M):
+            raise ValueError(
+                f"betas have shape {betas.shape}, expected ({self.num_angles}, {M})"
+            )
+        if workspace is not None:
+            scratch = workspace.scratch(M)
+            phases = workspace.phase(M)
+        else:
+            scratch = np.empty((self.dim, M), dtype=np.complex128)
+            phases = np.empty((self.dim, M), dtype=np.complex128)
+        np.matmul(self._term_diag_T_negj, betas, out=phases)
+        np.exp(phases, out=phases)
+        phases *= 1.0 / self.dim  # absorbs both transforms' 2^{-n/2} norms
+        h_hi, h_lo = self._hadamard_pair
+        walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+        out *= phases
+        walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
         return out
 
     def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

@@ -99,6 +99,17 @@ class XYMixer(DiagonalizedMixer):
         eigenvalues, eigenvectors = cached_eigendecomposition(
             self._file, key, lambda: self._compute_decomposition(n, k)
         )
+        # XY mixers are real symmetric, so the eigenbasis is real — coerce
+        # complex-typed arrays from older disk caches back to float64 so the
+        # real-GEMM fast path of DiagonalizedMixer is always taken.
+        eigenvectors = np.asarray(eigenvectors)
+        if np.iscomplexobj(eigenvectors):
+            if np.abs(eigenvectors.imag).max() > 1e-12:
+                raise ValueError(
+                    f"cached eigenvectors for {key!r} have non-real entries; "
+                    "the spectral cache is corrupted — delete it and rebuild"
+                )
+            eigenvectors = np.ascontiguousarray(eigenvectors.real)
         super().__init__(space, eigenvalues, eigenvectors)
         self.k = k
 
@@ -109,6 +120,28 @@ class XYMixer(DiagonalizedMixer):
         mat = xy_subspace_matrix(n, k, self.pairs)
         eigenvalues, eigenvectors = np.linalg.eigh(mat)
         return eigenvalues, eigenvectors
+
+    def apply_batch(
+        self,
+        Psi: np.ndarray,
+        betas: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched XY layer: the two basis-change GEMMs run as real GEMMs.
+
+        The constructor guarantees a real eigenbasis, so both GEMMs of the
+        diagonalized batch path operate on the interleaved re/im float view —
+        half the flops of complex GEMMs.  This override pins that invariant so
+        a silent fall-back to the promoted complex path cannot creep in.
+        """
+        if not self._real_basis:
+            raise RuntimeError(
+                f"{type(self).__name__} lost its real eigenbasis; spectral "
+                "data was replaced after construction"
+            )
+        return super().apply_batch(Psi, betas, out=out, workspace=workspace)
 
     def cache_key(self) -> str:
         return self._make_key(self.n, self.k)

@@ -55,6 +55,26 @@ class TestRandomRestart:
     def test_history_per_restart(self):
         result = find_angles_random(_ansatz(), iters=4, rng=7)
         assert len(result.history) == 4
+        # the batched seed scores are recorded alongside the refined values
+        assert all("seed_value" in entry and entry["refined"] for entry in result.history)
+
+    def test_refine_top_limits_bfgs_calls(self):
+        ansatz = _ansatz()
+        summary, results = find_angles_random(
+            ansatz, iters=6, rng=2, refine_top=2, return_all=True
+        )
+        assert sum(entry["refined"] for entry in summary.history) == 2
+        assert len(results) == 6
+        assert summary.value == max(r.value for r in results)
+        # refinement only improves on a raw seed score
+        full = find_angles_random(ansatz, iters=6, rng=2)
+        assert summary.value <= full.value + 1e-9
+
+    def test_refine_top_out_of_range(self):
+        with pytest.raises(ValueError):
+            find_angles_random(_ansatz(), iters=3, refine_top=0)
+        with pytest.raises(ValueError):
+            find_angles_random(_ansatz(), iters=3, refine_top=4)
 
 
 class TestMedianAngles:
@@ -134,3 +154,15 @@ class TestGridSearch:
         result = grid_search(ansatz, resolution=8)
         assert result.value <= ansatz.cost.optimum + 1e-9
         assert result.strategy == "grid"
+
+    def test_grid_batch_size_invariant(self):
+        ansatz = _ansatz(p=1, seed=2)
+        full = grid_search(ansatz, resolution=12, batch_size=1)
+        for batch_size in (7, 64, 1024):
+            chunked = grid_search(ansatz, resolution=12, batch_size=batch_size)
+            # degenerate grid optima may resolve to a different tied point,
+            # but the best value and the evaluation count must not change
+            assert abs(chunked.value - full.value) <= 1e-10
+            assert chunked.evaluations == full.evaluations == 144
+        with pytest.raises(ValueError):
+            grid_search(ansatz, resolution=8, batch_size=0)

@@ -100,6 +100,24 @@ class TestCustomSpace:
         with pytest.raises(ValueError):
             FeasibleSpace(n=3, labels=np.array([], dtype=np.int64))
 
+    def test_directly_constructed_unsorted_labels_rejected(self):
+        # Regression: index_of uses a binary search, so a FeasibleSpace built
+        # directly with unsorted labels used to return wrong indices or raise
+        # spurious KeyErrors.  __post_init__ now rejects unsorted input loudly
+        # (silently sorting would permute the basis out from under any
+        # caller-supplied per-state arrays); CustomSpace sorts for you.
+        with pytest.raises(ValueError, match="ascending"):
+            FeasibleSpace(n=3, labels=np.array([5, 1, 3]))
+        space = CustomSpace(3, [5, 1, 3])
+        assert np.array_equal(space.labels, [1, 3, 5])
+        assert space.index_of(3) == 1
+        with pytest.raises(KeyError):
+            space.index_of(2)
+
+    def test_unsorted_duplicates_still_rejected(self):
+        with pytest.raises(ValueError):
+            FeasibleSpace(n=3, labels=np.array([5, 1, 5]))
+
 
 @given(st.integers(min_value=2, max_value=10), st.data())
 @settings(max_examples=25)
