@@ -19,9 +19,7 @@ from repro.baselines.trotter import trotter_clique_mixer
 from repro.core import random_angles, simulate
 from repro.hilbert import DickeSpace, state_matrix
 from repro.mixers import CliqueMixer, transverse_field_mixer
-from repro.mixers.xy import xy_subspace_matrix
 from repro.problems import densest_subgraph_values, erdos_renyi
-from repro.problems.maxcut import maxcut_values
 
 _N_X = 12 if is_paper_scale() else 10
 _NK = (12, 6) if is_paper_scale() else (10, 5)
@@ -67,7 +65,10 @@ def test_x_mixer_speedup_shape(benchmark, x_mixer_state):
     dense_h = mixer.matrix()
     fast = time_call(lambda: mixer.apply(psi, 0.4), repeats=3)
     slow = time_call(lambda: sla.expm(-1j * 0.4 * dense_h) @ psi, repeats=3)
-    print(f"\n  ablation x-mixer n={n}: WHT={fast['min']*1e6:.1f} us, dense expm={slow['min']*1e6:.1f} us")
+    print(
+        f"\n  ablation x-mixer n={n}: "
+        f"WHT={fast['min'] * 1e6:.1f} us, dense expm={slow['min'] * 1e6:.1f} us"
+    )
     assert fast["min"] * 10 < slow["min"]
 
 

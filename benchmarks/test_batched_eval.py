@@ -91,9 +91,7 @@ def test_batched_throughput_and_record():
     }
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
-    gate = next(
-        r for r in records if (r["mixer"], r["n"], r["p"], r["M"]) == ("x", 12, 2, 256)
-    )
+    gate = next(r for r in records if (r["mixer"], r["n"], r["p"], r["M"]) == ("x", 12, 2, 256))
     assert gate["speedup"] >= 3.0, (
         f"batched evaluation only {gate['speedup']:.2f}x over the scalar loop "
         f"at (n=12, p=2, M=256); acceptance requires >= 3x"

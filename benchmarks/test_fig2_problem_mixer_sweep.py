@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import normalized_approximation_ratio, series_from_results
+from repro.analysis import series_from_results
 from repro.angles import find_angles
 from repro.bench.workloads import figure2_cases, is_paper_scale
 from repro.core import random_angles, simulate
@@ -43,9 +43,7 @@ def test_quality_improves_with_rounds(benchmark, case):
     """Regenerate one Figure 2 line: quality vs p for this problem/mixer pair."""
 
     def sweep():
-        return find_angles(
-            _P_SWEEP, case.mixer, case.cost, n_hops=2, n_starts_p1=1, rng=0
-        )
+        return find_angles(_P_SWEEP, case.mixer, case.cost, n_hops=2, n_starts_p1=1, rng=0)
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     series = series_from_results(

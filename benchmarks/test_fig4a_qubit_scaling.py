@@ -60,9 +60,7 @@ def test_fig4a_time_and_memory_shape(benchmark, fig4_scaling_qubits):
             simulator = cls(graph, _P)
             stats = time_call(lambda: simulator.expectation(_ANGLES), repeats=3, warmup=1)
             _, peak = measure_peak_allocation(lambda: simulator.expectation(_ANGLES))
-            rows.append(
-                {"simulator": name, "n": n, "time_s": stats["min"], "peak_bytes": peak}
-            )
+            rows.append({"simulator": name, "n": n, "time_s": stats["min"], "peak_bytes": peak})
     print()
     for row in rows:
         print(

@@ -47,9 +47,13 @@ def test_fig4b_round_scaling_shape(benchmark, fig4b_setup):
             rows.append({"simulator": name, "p": p, "time_s": stats["min"]})
     print()
     for row in rows:
-        print(f"  fig4b {row['simulator']:<20s} p={row['p']:<3d} time={row['time_s'] * 1e3:8.3f} ms")
+        print(
+            f"  fig4b {row['simulator']:<20s} p={row['p']:<3d} time={row['time_s'] * 1e3:8.3f} ms"
+        )
 
-    by_sim = {name: {r["p"]: r["time_s"] for r in rows if r["simulator"] == name} for name in _SIMULATORS}
+    by_sim = {
+        name: {r["p"]: r["time_s"] for r in rows if r["simulator"] == name} for name in _SIMULATORS
+    }
     p_lo, p_hi = min(rounds), max(rounds)
 
     for name, times in by_sim.items():

@@ -76,7 +76,8 @@ def test_fig5_gradient_separation_shape(benchmark):
     for row in rows:
         print(
             f"  fig5 {row['method']:<8s} p={row['p']:<3d} "
-            f"time={row['mean_time_s'] * 1e3:9.2f} ms  forward_passes={row['mean_forward_passes']:8.1f}"
+            f"time={row['mean_time_s'] * 1e3:9.2f} ms  "
+            f"forward_passes={row['mean_forward_passes']:8.1f}"
         )
 
     by = {(r["method"], r["p"]): r for r in rows}

@@ -1,0 +1,44 @@
+"""Experiment-runner sweep over a real figure workload (Fig. 4b grid).
+
+Where ``tests/test_experiments.py`` exercises the orchestration machinery on
+a shrunken Figure 2, this suite drives the runner end-to-end on the actual
+quick-scale Fig. 4b timing grid: the sharded run store must contain one row
+per grid point, agree with the direct ``run_figure4b`` decomposition, and
+resume as a no-op once complete.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure4b_points
+from repro.experiments import RunStore, enumerate_tasks, run_experiment
+
+
+def test_runner_covers_fig4b_grid(tmp_path):
+    overrides = {"repeats": 1}
+    report = run_experiment(
+        "fig4b", scale="quick", out_dir=tmp_path / "runs", workers=2, overrides=overrides
+    )
+    n, points = figure4b_points()
+    assert report.total_tasks == len(points)
+    assert report.executed == len(points) and report.complete
+
+    rows = RunStore.open(report.directory).rows()
+    assert [(row["simulator"], row["p"]) for row in rows] == points
+    assert all(row["n"] == n and row["time_s"] > 0 for row in rows)
+
+    # Resuming a complete sweep recomputes nothing.
+    resumed = run_experiment(
+        "fig4b", scale="quick", out_dir=tmp_path / "runs", workers=2, overrides=overrides
+    )
+    assert resumed.executed == 0 and resumed.skipped == len(points)
+
+
+def test_grover_tasks_match_direct_rows(tmp_path):
+    overrides = {"dense_qubits": [6], "large_qubits": [40], "p": 2, "repeats": 1}
+    report = run_experiment(
+        "grover", scale="quick", out_dir=tmp_path / "runs", workers=1, overrides=overrides
+    )
+    assert report.total_tasks == len(enumerate_tasks("grover", overrides)) == 2
+    rows = RunStore.open(report.directory).rows()
+    reps = {(row["representation"], row["n"]) for row in rows}
+    assert reps == {("dense", 6), ("compressed", 6), ("compressed", 40)}

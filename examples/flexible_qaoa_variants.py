@@ -23,7 +23,6 @@ from repro import (
     transverse_field_mixer,
 )
 from repro.angles import find_angles_random, local_minimize
-from repro.core.multiangle import pack_angles
 from repro.problems import erdos_renyi, maxcut_values, threshold_values
 from repro.problems.extra import number_partition_values
 
@@ -36,8 +35,10 @@ def user_defined_cost() -> None:
     obj = number_partition_values(weights, state_matrix(n))  # user-defined objective
     ansatz = QAOAAnsatz(obj, transverse_field_mixer(n), 2)
     result = find_angles_random(ansatz, iters=10, rng=0)
-    print(f"[number partitioning] best <C> = {result.value:.3f} "
-          f"(optimum {obj.max():.0f}, mean over assignments {obj.mean():.0f})")
+    print(
+        f"[number partitioning] best <C> = {result.value:.3f} "
+        f"(optimum {obj.max():.0f}, mean over assignments {obj.mean():.0f})"
+    )
 
 
 def multi_angle() -> None:
@@ -49,10 +50,11 @@ def multi_angle() -> None:
     schedule = MixerSchedule([mixer] * p)
     ansatz = QAOAAnsatz(obj, schedule)
     result = local_minimize(ansatz, 0.1 * np.ones(ansatz.num_angles))
-    plain = local_minimize(QAOAAnsatz(obj, transverse_field_mixer(n), p),
-                           0.1 * np.ones(2 * p))
-    print(f"[multi-angle]         <C> = {result.value:.4f} with {ansatz.num_angles} angles "
-          f"vs {plain.value:.4f} with {2 * p} standard angles (optimum {obj.max():.0f})")
+    plain = local_minimize(QAOAAnsatz(obj, transverse_field_mixer(n), p), 0.1 * np.ones(2 * p))
+    print(
+        f"[multi-angle]         <C> = {result.value:.4f} with {ansatz.num_angles} angles "
+        f"vs {plain.value:.4f} with {2 * p} standard angles (optimum {obj.max():.0f})"
+    )
 
 
 def per_round_mixers() -> None:
@@ -63,7 +65,10 @@ def per_round_mixers() -> None:
     schedule = MixerSchedule([transverse_field_mixer(n), GroverMixer(FullSpace(n))])
     angles = np.array([0.4, 0.9, 0.5, 0.7])
     res = simulate(angles, schedule, obj)
-    print(f"[mixed schedule]      transverse-field round then Grover round: <C> = {res.expectation():.4f}")
+    print(
+        "[mixed schedule]      transverse-field round then Grover round: "
+        f"<C> = {res.expectation():.4f}"
+    )
 
 
 def threshold_phase_separator() -> None:
@@ -78,8 +83,10 @@ def threshold_phase_separator() -> None:
     # amplitude amplification of the marked states (Grover search as a QAOA).
     res = simulate(np.array([np.pi, np.pi]), mixer, marked)
     uniform_prob = marked.sum() / len(marked)
-    print(f"[threshold + Grover]  P(marked) = {res.expectation():.4f} after one round "
-          f"(uniform baseline {uniform_prob:.4f})")
+    print(
+        f"[threshold + Grover]  P(marked) = {res.expectation():.4f} after one round "
+        f"(uniform baseline {uniform_prob:.4f})"
+    )
 
 
 def warm_start() -> None:
@@ -100,8 +107,10 @@ def warm_start() -> None:
     angles = np.array([0.2, 0.3])
     warm_res = simulate(angles, mixer, obj, initial_state=warm)
     cold_res = simulate(angles, mixer, obj)
-    print(f"[warm start]          <C> warm = {warm_res.expectation():.4f} "
-          f"vs cold = {cold_res.expectation():.4f} (optimum {obj.max():.0f})")
+    print(
+        f"[warm start]          <C> warm = {warm_res.expectation():.4f} "
+        f"vs cold = {cold_res.expectation():.4f} (optimum {obj.max():.0f})"
+    )
 
 
 if __name__ == "__main__":

@@ -51,10 +51,12 @@ def main() -> None:
     instance = random_ksat(n_sat, k=3, clause_density=6.0, seed=1)
     spectrum_sat = parallel_compress(partial(ksat_values, instance), n_sat, processes=4)
     result = simulate_grover_compressed(2 * np.pi * rng.random(6), spectrum_sat)
-    print(f"[n={n_sat} 3-SAT] clauses = {instance.num_clauses}, "
-          f"distinct values = {spectrum_sat.num_distinct}, "
-          f"<C> = {result.expectation():.3f}, "
-          f"P(optimal) = {result.ground_state_probability():.2e}")
+    print(
+        f"[n={n_sat} 3-SAT] clauses = {instance.num_clauses}, "
+        f"distinct values = {spectrum_sat.num_distinct}, "
+        f"<C> = {result.expectation():.3f}, "
+        f"P(optimal) = {result.ground_state_probability():.2e}"
+    )
 
     # --- 3. n = 100 with an analytic spectrum + compressed gradient --------
     n_big = 100
@@ -69,8 +71,10 @@ def main() -> None:
     res = minimize(loss, x0, jac=True, method="BFGS", options={"maxiter": 60})
     final = simulate_grover_compressed(res.x, spectrum_big)
     print(f"[n={n_big}]      feasible states = 2^{n_big} (~{float(spectrum_big.total):.2e})")
-    print(f"               optimized <C> = {final.expectation():.4f} "
-          f"(objective maximum = {spectrum_big.optimum:.0f})")
+    print(
+        f"               optimized <C> = {final.expectation():.4f} "
+        f"(objective maximum = {spectrum_big.optimum:.0f})"
+    )
     print(f"               state classes tracked = {spectrum_big.num_distinct}")
 
 

@@ -1,39 +1,33 @@
-"""Regenerate every figure of the paper as plain-text tables.
+"""Regenerate every figure of the paper through the experiment runner.
 
-This drives the benchmark harness (:mod:`repro.bench.figures`) end to end and
-prints one table per figure.  Figures are scaled down by default so the script
-finishes in a few minutes; set ``REPRO_BENCH_SCALE=paper`` for the paper-sized
-parameters (n = 12/14, p up to 10, 50+ instances — substantially slower).
-
-Results are also written as JSON rows under ``./figure_outputs/`` so they can
-be re-plotted or diffed later.
+This is a thin veneer over the ``python -m repro`` CLI: each figure becomes a
+sharded, resumable sweep whose rows land in a run store (manifest + JSONL)
+under ``--output-dir``.  Interrupt it at any point and re-run — completed
+work is skipped.  Figures are scaled down by default so the script finishes
+in minutes; pass ``--scale paper`` for the paper-sized parameters (n = 12/14,
+p up to 10, 50+ instances — substantially slower).
 
 Run with:  python examples/reproduce_figures.py [--figures 2,4a,4b,5,grover]
+
+Equivalent CLI invocation:  python -m repro run all --scale quick --out runs
 """
 
 from __future__ import annotations
 
 import argparse
-from pathlib import Path
 
-from repro.bench import (
-    format_rows,
-    run_figure2,
-    run_figure3,
-    run_figure4a,
-    run_figure4b,
-    run_figure5,
-    run_grover_compression,
-)
-from repro.io.results import save_rows
+from repro.bench import format_rows
+from repro.experiments import RunStore, get_experiment, run_experiment
+from repro.hpc import default_workers
 
-RUNNERS = {
-    "2": ("Figure 2 — quality vs rounds for four problem/mixer pairs", run_figure2),
-    "3": ("Figure 3 — angle-finding strategy comparison (slowest figure)", run_figure3),
-    "4a": ("Figure 4a — time & memory vs qubits (p=1 MaxCut)", run_figure4a),
-    "4b": ("Figure 4b — time vs rounds (fixed-n MaxCut)", run_figure4b),
-    "5": ("Figure 5 — BFGS with finite-difference vs adjoint gradients", run_figure5),
-    "grover": ("Sec. 2.4 — Grover-mixer value compression", run_grover_compression),
+# Figure ids as the paper names them -> experiment names in the registry.
+FIGURE_TO_EXPERIMENT = {
+    "2": "fig2",
+    "3": "fig3",
+    "4a": "fig4a",
+    "4b": "fig4b",
+    "5": "fig5",
+    "grover": "grover",
 }
 
 DEFAULT_FIGURES = ["2", "4a", "4b", "5", "grover"]  # figure 3 is opt-in (slow)
@@ -44,26 +38,39 @@ def main() -> None:
     parser.add_argument(
         "--figures",
         default=",".join(DEFAULT_FIGURES),
-        help=f"comma-separated subset of {sorted(RUNNERS)} (default: {','.join(DEFAULT_FIGURES)})",
+        help=(
+            f"comma-separated subset of {sorted(FIGURE_TO_EXPERIMENT)} "
+            f"(default: {','.join(DEFAULT_FIGURES)})"
+        ),
     )
     parser.add_argument(
-        "--output-dir", default="figure_outputs", help="directory for the JSON row dumps"
+        "--output-dir", default="figure_outputs", help="directory for the run stores"
+    )
+    parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per figure (default: REPRO_WORKERS or CPU count)",
     )
     args = parser.parse_args()
 
     selected = [f.strip() for f in args.figures.split(",") if f.strip()]
-    unknown = [f for f in selected if f not in RUNNERS]
+    unknown = [f for f in selected if f not in FIGURE_TO_EXPERIMENT]
     if unknown:
-        raise SystemExit(f"unknown figure id(s) {unknown}; choose from {sorted(RUNNERS)}")
+        raise SystemExit(
+            f"unknown figure id(s) {unknown}; choose from {sorted(FIGURE_TO_EXPERIMENT)}"
+        )
 
-    output_dir = Path(args.output_dir)
+    workers = default_workers() if args.workers is None else max(1, args.workers)
     for figure_id in selected:
-        title, runner = RUNNERS[figure_id]
-        print(f"\n=== {title} ===")
-        rows = runner()
-        print(format_rows(rows))
-        path = save_rows(output_dir / f"figure_{figure_id}.json", rows)
-        print(f"(rows saved to {path})")
+        name = FIGURE_TO_EXPERIMENT[figure_id]
+        print(f"\n=== {get_experiment(name).title} ===")
+        report = run_experiment(
+            name, scale=args.scale, out_dir=args.output_dir, workers=workers, log=print
+        )
+        print(format_rows(RunStore.open(report.directory).rows()))
+        print(f"(rows stored in {report.directory})")
 
 
 if __name__ == "__main__":

@@ -77,7 +77,7 @@ from .problems import (
     vertex_cover_values,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchedWorkspace",

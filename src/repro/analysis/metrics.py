@@ -11,7 +11,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.precompute import PrecomputedCost
 from ..core.simulator import QAOAResult
 
 __all__ = [

@@ -82,9 +82,7 @@ def local_minimize(
             evaluations += 1
             return ansatz.loss(x)
 
-        res = optimize.minimize(
-            fun, x0, method="BFGS", options={"maxiter": maxiter, "gtol": gtol}
-        )
+        res = optimize.minimize(fun, x0, method="BFGS", options={"maxiter": maxiter, "gtol": gtol})
     else:
         raise ValueError(f"unknown gradient mode {gradient!r}")
 

@@ -11,10 +11,9 @@ atomic (write to a temp file, then rename).
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 
+from ..io.results import write_json_atomic
 from .result import AngleResult
 
 __all__ = ["AngleCheckpoint"]
@@ -45,21 +44,12 @@ class AngleCheckpoint:
     def _save(self) -> None:
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format_version": _FORMAT_VERSION,
             "rounds": {str(p): result.to_dict() for p, result in sorted(self._results.items())},
         }
         # Atomic replace so a crash mid-write never corrupts the checkpoint.
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+        write_json_atomic(self.path, payload)
 
     # ------------------------------------------------------------------
     def store(self, result: AngleResult) -> None:

@@ -63,7 +63,9 @@ def fourier_extrapolate(sequence: np.ndarray, new_length: int) -> np.ndarray:
     return new_basis @ coeffs
 
 
-def extrapolate_angles(angles: np.ndarray, p_from: int, p_to: int, method: str = "interp") -> np.ndarray:
+def extrapolate_angles(
+    angles: np.ndarray, p_from: int, p_to: int, method: str = "interp"
+) -> np.ndarray:
     """Extend a ``p_from``-round angle vector to ``p_to`` rounds.
 
     The input and output use the flat (betas, gammas) layout with one beta per
@@ -112,9 +114,7 @@ def _initial_round(
     evaluations = 0
     for _ in range(max(1, n_starts)):
         x0 = 2.0 * np.pi * rng.random(ansatz.num_angles)
-        result = basinhop(
-            ansatz, x0, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter
-        )
+        result = basinhop(ansatz, x0, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter)
         evaluations += result.evaluations
         if best is None:
             best = result
@@ -199,7 +199,9 @@ def find_angles(
         )
 
     checkpoint = AngleCheckpoint(file)
-    results: dict[int, AngleResult] = {r: checkpoint.get(r) for r in checkpoint.rounds()}  # type: ignore[misc]
+    results: dict[int, AngleResult] = {  # type: ignore[misc]
+        r: checkpoint.get(r) for r in checkpoint.rounds()
+    }
 
     # Escape hatch: direct search at round p from user-provided angles.
     if initial_angles is not None:
@@ -242,9 +244,7 @@ def find_angles(
             seed = extrapolate_angles(
                 results[rounds - 1].angles, rounds - 1, rounds, method=extrapolation
             )
-            hop = basinhop(
-                ansatz, seed, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter
-            )
+            hop = basinhop(ansatz, seed, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter)
             result = AngleResult(
                 angles=hop.angles,
                 value=hop.value,

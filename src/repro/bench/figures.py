@@ -13,7 +13,7 @@ Sizes follow the active profile of :mod:`repro.bench.workloads`
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -33,7 +33,8 @@ from ..mixers.grover import grover_mixer
 from ..mixers.xmixer import transverse_field_mixer
 from .timing import time_and_memory, time_call
 from .workloads import (
-    figure2_cases,
+    FIGURE2_CASE_LABELS,
+    figure2_case,
     figure3_instances,
     figure4_graph,
     figure4a_qubit_range,
@@ -49,6 +50,15 @@ __all__ = [
     "run_figure4b",
     "run_figure5",
     "run_grover_compression",
+    "figure2_case_rows",
+    "figure4a_points",
+    "figure4a_point_rows",
+    "figure4b_points",
+    "figure4b_point_rows",
+    "figure5_round_values",
+    "figure5_round_rows",
+    "grover_dense_rows",
+    "grover_large_rows",
     "format_rows",
 ]
 
@@ -90,6 +100,54 @@ def _fmt(value) -> str:
 # Figure 2 — quality vs p for four problem/mixer pairs
 # ---------------------------------------------------------------------------
 
+def figure2_case_rows(
+    case_index: int,
+    *,
+    p_max: int | None = None,
+    n: int | None = None,
+    seed: int | None = None,
+    n_hops: int = 3,
+    rng_seed: int = 0,
+) -> list[dict]:
+    """Rows for one of the four Figure 2 cases (one independent unit of sweep work).
+
+    ``case_index`` indexes :data:`~repro.bench.workloads.FIGURE2_CASE_LABELS`;
+    the full figure is the concatenation of the four case row lists, which is
+    exactly what :func:`run_figure2` (and the sharded experiment runner)
+    produce.
+    """
+    if p_max is None:
+        p_max = 10 if is_paper_scale() else 3
+    if seed is None:
+        case = figure2_case(case_index, n=n)
+    else:
+        case = figure2_case(case_index, n=n, seed=seed)
+    results = find_angles(
+        p_max,
+        case.mixer,
+        case.cost,
+        n_hops=n_hops,
+        n_starts_p1=2,
+        rng=rng_seed,
+    )
+    rows: list[dict] = []
+    for p in sorted(results):
+        result = results[p]
+        ratio = normalized_approximation_ratio(result.value, case.cost.optimum, case.cost.worst)
+        rows.append(
+            {
+                "figure": "2",
+                "case": case.label,
+                "n": case.n,
+                "p": p,
+                "expectation": result.value,
+                "optimum": case.cost.optimum,
+                "approx_ratio": ratio,
+            }
+        )
+    return rows
+
+
 def run_figure2(
     p_max: int | None = None,
     n: int | None = None,
@@ -104,35 +162,13 @@ def run_figure2(
     optimum and the normalized approximation ratio achieved by the iterative
     (extrapolated basinhopping) angle finder.
     """
-    if p_max is None:
-        p_max = 10 if is_paper_scale() else 3
-    cases = figure2_cases(n=n) if seed is None else figure2_cases(n=n, seed=seed)
     rows: list[dict] = []
-    for case in cases:
-        results = find_angles(
-            p_max,
-            case.mixer,
-            case.cost,
-            n_hops=n_hops,
-            n_starts_p1=2,
-            rng=rng_seed,
+    for case_index in range(len(FIGURE2_CASE_LABELS)):
+        rows.extend(
+            figure2_case_rows(
+                case_index, p_max=p_max, n=n, seed=seed, n_hops=n_hops, rng_seed=rng_seed
+            )
         )
-        for p in sorted(results):
-            result = results[p]
-            ratio = normalized_approximation_ratio(
-                result.value, case.cost.optimum, case.cost.worst
-            )
-            rows.append(
-                {
-                    "figure": "2",
-                    "case": case.label,
-                    "n": case.n,
-                    "p": p,
-                    "expectation": result.value,
-                    "optimum": case.cost.optimum,
-                    "approx_ratio": ratio,
-                }
-            )
     return rows
 
 
@@ -173,9 +209,7 @@ def run_figure3(
         cost = problem.objective_values()
         optimum, worst = float(cost.max()), float(cost.min())
 
-        results = find_angles(
-            p_max, mixer, cost, n_hops=n_hops, n_starts_p1=2, rng=rng_seed + idx
-        )
+        results = find_angles(p_max, mixer, cost, n_hops=n_hops, n_starts_p1=2, rng=rng_seed + idx)
         iterative_series.append(
             series_from_results(results, optimum=optimum, worst=worst, label="iterative")
         )
@@ -187,9 +221,7 @@ def run_figure3(
                 ansatz, iters=random_iters, rng=rng_seed + 1000 + idx * 100 + p
             )
             per_round_restart_results[p].append(best)
-            random_by_round[p].append(
-                normalized_approximation_ratio(best.value, optimum, worst)
-            )
+            random_by_round[p].append(normalized_approximation_ratio(best.value, optimum, worst))
 
     # Median angles: medians of the per-instance random-restart winners.
     for p in range(1, p_max + 1):
@@ -240,6 +272,56 @@ def run_figure3(
 # Figure 4a — time & memory vs number of qubits (p = 1 MaxCut)
 # ---------------------------------------------------------------------------
 
+def figure4a_points(
+    qubit_range: Sequence[int] | None = None,
+    *,
+    include_dense: bool | None = None,
+) -> list[tuple[str, int]]:
+    """The ``(simulator, n)`` grid points of Fig. 4a, in sweep order.
+
+    The dense-unitary baseline is capped at ``n <= 10`` (it materializes a
+    ``2^n x 2^n`` matrix), mirroring the skip logic of the original loop.
+    """
+    if include_dense is None:
+        include_dense = True
+    if qubit_range is None:
+        qubit_range = figure4a_qubit_range()
+    points: list[tuple[str, int]] = []
+    for name in _BASELINE_CLASSES:
+        for n in qubit_range:
+            if name == "circuit-dense" and (not include_dense or n > 10):
+                continue
+            points.append((name, int(n)))
+    return points
+
+
+def figure4a_point_rows(
+    simulator: str,
+    n: int,
+    *,
+    p: int = 1,
+    repeats: int = 3,
+    seed: int | None = None,
+) -> list[dict]:
+    """Time/memory rows for a single Fig. 4a grid point (one simulator at one ``n``)."""
+    cls = _BASELINE_CLASSES[simulator]
+    angles = np.random.default_rng(4).random(2 * p)
+    graph = figure4_graph(n) if seed is None else figure4_graph(n, seed=seed)
+    sim = cls(graph, p)
+    stats = time_and_memory(lambda: sim.expectation(angles), repeats=repeats)
+    return [
+        {
+            "figure": "4a",
+            "simulator": simulator,
+            "n": n,
+            "p": p,
+            "time_s": stats["min"],
+            "peak_bytes": stats["peak_bytes"],
+            "estimated_bytes": simulator_memory_estimate(n, kind=_MEMORY_KIND[simulator]),
+        }
+    ]
+
+
 def run_figure4a(
     qubit_range: Sequence[int] | None = None,
     *,
@@ -249,38 +331,67 @@ def run_figure4a(
     seed: int | None = None,
 ) -> list[dict]:
     """Per-evaluation time and memory of each simulator as ``n`` grows."""
-    if include_dense is None:
-        include_dense = True
-    if qubit_range is None:
-        qubit_range = figure4a_qubit_range()
     rows: list[dict] = []
-    rng = np.random.default_rng(4)
-    angles = rng.random(2 * p)
-    for name, cls in _BASELINE_CLASSES.items():
-        for n in qubit_range:
-            if name == "circuit-dense":
-                if not include_dense or n > 10:
-                    continue
-            graph = figure4_graph(n) if seed is None else figure4_graph(n, seed=seed)
-            simulator = cls(graph, p)
-            stats = time_and_memory(lambda: simulator.expectation(angles), repeats=repeats)
-            rows.append(
-                {
-                    "figure": "4a",
-                    "simulator": name,
-                    "n": n,
-                    "p": p,
-                    "time_s": stats["min"],
-                    "peak_bytes": stats["peak_bytes"],
-                    "estimated_bytes": simulator_memory_estimate(n, kind=_MEMORY_KIND[name]),
-                }
-            )
+    for simulator, n in figure4a_points(qubit_range, include_dense=include_dense):
+        rows.extend(figure4a_point_rows(simulator, n, p=p, repeats=repeats, seed=seed))
     return rows
 
 
 # ---------------------------------------------------------------------------
 # Figure 4b — time vs number of rounds (fixed n MaxCut)
 # ---------------------------------------------------------------------------
+
+def figure4b_points(
+    n: int | None = None,
+    round_values: Sequence[int] | None = None,
+    *,
+    include_dense: bool = False,
+) -> tuple[int, list[tuple[str, int]]]:
+    """Resolved ``n`` and the ``(simulator, p)`` grid points of Fig. 4b, in sweep order."""
+    default_n, default_rounds = figure4b_round_range()
+    if n is None:
+        n = default_n
+    if round_values is None:
+        round_values = default_rounds
+    points: list[tuple[str, int]] = []
+    for name in _BASELINE_CLASSES:
+        if name == "circuit-dense" and (not include_dense or n > 10):
+            continue
+        points.extend((name, int(p)) for p in round_values)
+    return int(n), points
+
+
+def figure4b_point_rows(
+    simulator: str,
+    p: int,
+    *,
+    n: int | None = None,
+    repeats: int = 3,
+    seed: int | None = None,
+) -> list[dict]:
+    """Timing row for a single Fig. 4b grid point (one simulator at one ``p``).
+
+    Angles are drawn from a per-round seeded stream so every grid point is
+    self-contained (no generator state threads through the sweep), which is
+    what lets the experiment runner execute points in any order or shard.
+    """
+    if n is None:
+        n, _ = figure4b_round_range()
+    cls = _BASELINE_CLASSES[simulator]
+    graph = figure4_graph(n) if seed is None else figure4_graph(n, seed=seed)
+    angles = np.random.default_rng((5, p)).random(2 * p)
+    sim = cls(graph, p)
+    stats = time_call(lambda: sim.expectation(angles), repeats=repeats)
+    return [
+        {
+            "figure": "4b",
+            "simulator": simulator,
+            "n": n,
+            "p": p,
+            "time_s": stats["min"],
+        }
+    ]
+
 
 def run_figure4b(
     n: int | None = None,
@@ -291,30 +402,10 @@ def run_figure4b(
     seed: int | None = None,
 ) -> list[dict]:
     """Per-evaluation time of each simulator as the round count ``p`` grows."""
-    default_n, default_rounds = figure4b_round_range()
-    if n is None:
-        n = default_n
-    if round_values is None:
-        round_values = default_rounds
-    graph = figure4_graph(n) if seed is None else figure4_graph(n, seed=seed)
-    rng = np.random.default_rng(5)
+    n, points = figure4b_points(n, round_values, include_dense=include_dense)
     rows: list[dict] = []
-    for name, cls in _BASELINE_CLASSES.items():
-        if name == "circuit-dense" and (not include_dense or n > 10):
-            continue
-        for p in round_values:
-            angles = rng.random(2 * p)
-            simulator = cls(graph, p)
-            stats = time_call(lambda: simulator.expectation(angles), repeats=repeats)
-            rows.append(
-                {
-                    "figure": "4b",
-                    "simulator": name,
-                    "n": n,
-                    "p": p,
-                    "time_s": stats["min"],
-                }
-            )
+    for simulator, p in points:
+        rows.extend(figure4b_point_rows(simulator, p, n=n, repeats=repeats, seed=seed))
     return rows
 
 
@@ -339,39 +430,67 @@ def run_figure5(
     the O(p) separation discussed in Sec. 4.
     """
     if round_values is None:
-        round_values = list(range(1, 11)) if is_paper_scale() else [1, 2, 4, 6]
-    problems = figure5_instances(num_instances=num_instances, n=n)
-    mixer = transverse_field_mixer(problems[0].n)
-    rng = np.random.default_rng(rng_seed)
+        round_values = figure5_round_values()
     rows: list[dict] = []
     for p in round_values:
-        times = {"adjoint": [], "finite": []}
-        passes = {"adjoint": [], "finite": []}
-        for problem in problems:
-            cost = problem.objective_values()
-            x0 = 2.0 * np.pi * rng.random(2 * p)
-            for method in ("adjoint", "finite"):
-                ansatz = QAOAAnsatz(cost, mixer, p)
-                ansatz.counter.reset()
-                stats = time_call(
-                    lambda m=method, a=ansatz: local_minimize(a, x0, gradient=m, maxiter=maxiter),
-                    repeats=1,
-                    warmup=0,
-                )
-                times[method].append(stats["min"])
-                passes[method].append(ansatz.counter.forward_passes)
-        for method in ("adjoint", "finite"):
-            rows.append(
-                {
-                    "figure": "5",
-                    "method": "autodiff" if method == "adjoint" else "finite_difference",
-                    "n": problems[0].n,
-                    "p": p,
-                    "mean_time_s": float(np.mean(times[method])),
-                    "mean_forward_passes": float(np.mean(passes[method])),
-                    "instances": len(problems),
-                }
+        rows.extend(
+            figure5_round_rows(
+                p, num_instances=num_instances, n=n, maxiter=maxiter, rng_seed=rng_seed
             )
+        )
+    return rows
+
+
+def figure5_round_values() -> list[int]:
+    """The round counts swept in Fig. 5 at the active scale."""
+    return list(range(1, 11)) if is_paper_scale() else [1, 2, 4, 6]
+
+
+def figure5_round_rows(
+    p: int,
+    *,
+    num_instances: int | None = None,
+    n: int | None = None,
+    maxiter: int = 30,
+    rng_seed: int = 0,
+) -> list[dict]:
+    """Both gradient-method rows for a single Fig. 5 round count ``p``.
+
+    Start points are drawn from a per-round seeded stream (one draw per
+    instance, shared by both gradient methods) so rounds are independent
+    units of work.
+    """
+    problems = figure5_instances(num_instances=num_instances, n=n)
+    mixer = transverse_field_mixer(problems[0].n)
+    rng = np.random.default_rng((rng_seed, p))
+    times: dict[str, list[float]] = {"adjoint": [], "finite": []}
+    passes: dict[str, list[float]] = {"adjoint": [], "finite": []}
+    for problem in problems:
+        cost = problem.objective_values()
+        x0 = 2.0 * np.pi * rng.random(2 * p)
+        for method in ("adjoint", "finite"):
+            ansatz = QAOAAnsatz(cost, mixer, p)
+            ansatz.counter.reset()
+            stats = time_call(
+                lambda m=method, a=ansatz: local_minimize(a, x0, gradient=m, maxiter=maxiter),
+                repeats=1,
+                warmup=0,
+            )
+            times[method].append(stats["min"])
+            passes[method].append(ansatz.counter.forward_passes)
+    rows: list[dict] = []
+    for method in ("adjoint", "finite"):
+        rows.append(
+            {
+                "figure": "5",
+                "method": "autodiff" if method == "adjoint" else "finite_difference",
+                "n": problems[0].n,
+                "p": p,
+                "mean_time_s": float(np.mean(times[method])),
+                "mean_forward_passes": float(np.mean(passes[method])),
+                "instances": len(problems),
+            }
+        )
     return rows
 
 
@@ -393,56 +512,64 @@ def run_grover_compression(
     is feasible, demonstrated on a Hamming-weight objective whose degeneracies
     are known analytically.
     """
+    rows: list[dict] = []
+    for n in dense_qubits:
+        rows.extend(grover_dense_rows(n, p=p, repeats=repeats))
+    for n in large_qubits:
+        rows.extend(grover_large_rows(n, p=p, repeats=repeats))
+    return rows
+
+
+def grover_dense_rows(n: int, *, p: int = 4, repeats: int = 3) -> list[dict]:
+    """Dense-vs-compressed timing rows for one moderate-``n`` Grover-QAOA instance."""
     from ..hilbert.states import state_matrix
     from ..problems.maxcut import maxcut_values
 
-    rng = np.random.default_rng(6)
-    angles = rng.random(2 * p)
-    rows: list[dict] = []
-    for n in dense_qubits:
-        graph = figure4_graph(n)
-        obj = maxcut_values(graph, state_matrix(n))
-        spectrum = compress_objective(obj)
-        mixer = grover_mixer(n)
+    angles = np.random.default_rng(6).random(2 * p)
+    graph = figure4_graph(n)
+    obj = maxcut_values(graph, state_matrix(n))
+    spectrum = compress_objective(obj)
+    mixer = grover_mixer(n)
 
-        ansatz = QAOAAnsatz(obj, mixer, p)
-        dense_stats = time_call(lambda: ansatz.expectation(angles), repeats=repeats)
-        comp_stats = time_call(
-            lambda: simulate_grover_compressed(angles, spectrum).expectation(), repeats=repeats
-        )
-        rows.append(
-            {
-                "figure": "grover",
-                "representation": "dense",
-                "n": n,
-                "p": p,
-                "distinct_values": spectrum.num_distinct,
-                "time_s": dense_stats["min"],
-            }
-        )
-        rows.append(
-            {
-                "figure": "grover",
-                "representation": "compressed",
-                "n": n,
-                "p": p,
-                "distinct_values": spectrum.num_distinct,
-                "time_s": comp_stats["min"],
-            }
-        )
-    for n in large_qubits:
-        spectrum = hamming_weight_spectrum(n, lambda w: float(min(w, n - w)))
-        stats = time_call(
-            lambda: simulate_grover_compressed(angles, spectrum).expectation(), repeats=repeats
-        )
-        rows.append(
-            {
-                "figure": "grover",
-                "representation": "compressed",
-                "n": n,
-                "p": p,
-                "distinct_values": spectrum.num_distinct,
-                "time_s": stats["min"],
-            }
-        )
-    return rows
+    ansatz = QAOAAnsatz(obj, mixer, p)
+    dense_stats = time_call(lambda: ansatz.expectation(angles), repeats=repeats)
+    comp_stats = time_call(
+        lambda: simulate_grover_compressed(angles, spectrum).expectation(), repeats=repeats
+    )
+    return [
+        {
+            "figure": "grover",
+            "representation": "dense",
+            "n": n,
+            "p": p,
+            "distinct_values": spectrum.num_distinct,
+            "time_s": dense_stats["min"],
+        },
+        {
+            "figure": "grover",
+            "representation": "compressed",
+            "n": n,
+            "p": p,
+            "distinct_values": spectrum.num_distinct,
+            "time_s": comp_stats["min"],
+        },
+    ]
+
+
+def grover_large_rows(n: int, *, p: int = 4, repeats: int = 3) -> list[dict]:
+    """Compressed-only timing row for one large-``n`` Hamming-weight objective."""
+    angles = np.random.default_rng(6).random(2 * p)
+    spectrum = hamming_weight_spectrum(n, lambda w: float(min(w, n - w)))
+    stats = time_call(
+        lambda: simulate_grover_compressed(angles, spectrum).expectation(), repeats=repeats
+    )
+    return [
+        {
+            "figure": "grover",
+            "representation": "compressed",
+            "n": n,
+            "p": p,
+            "distinct_values": spectrum.num_distinct,
+            "time_s": stats["min"],
+        }
+    ]

@@ -25,6 +25,8 @@ __all__ = [
     "bench_scale",
     "is_paper_scale",
     "Figure2Case",
+    "FIGURE2_CASE_LABELS",
+    "figure2_case",
     "figure2_cases",
     "figure3_instances",
     "figure4_graph",
@@ -75,6 +77,47 @@ class Figure2Case:
         return self.problem.n
 
 
+#: Labels of the four Figure 2 cases, in sweep order (stable task identifiers).
+FIGURE2_CASE_LABELS = (
+    "maxcut+transverse_field",
+    "3sat+grover",
+    "densest_k_subgraph+clique",
+    "k_vertex_cover+ring",
+)
+
+
+def figure2_case(case_index: int, n: int | None = None, seed: int = FIG2_SEED) -> Figure2Case:
+    """Build a single Figure 2 case by index (cheap per-task construction).
+
+    The experiment runner dispatches one task per case; building only the
+    requested problem/mixer pair avoids redoing the other three
+    pre-computations in every worker.
+    """
+    if n is None:
+        n = 12 if is_paper_scale() else 8
+    k = n // 2
+    if case_index == 0:
+        problem = make_problem("maxcut", n, seed=seed)
+        mixer: Mixer = transverse_field_mixer(n)
+    elif case_index == 1:
+        problem = make_problem("ksat", n, seed=seed + 1, clause_density=6.0, sat_k=3)
+        mixer = grover_mixer(n)
+    elif case_index == 2:
+        problem = make_problem("densest_subgraph", n, seed=seed + 2, k=k)
+        mixer = CliqueMixer(n, k)
+    elif case_index == 3:
+        problem = make_problem("vertex_cover", n, seed=seed + 3, k=k)
+        mixer = RingMixer(n, k)
+    else:
+        raise IndexError(f"case_index must be 0..3, got {case_index}")
+    return Figure2Case(
+        label=FIGURE2_CASE_LABELS[case_index],
+        problem=problem,
+        mixer=mixer,
+        cost=PrecomputedCost(values=problem.objective_values(), space=problem.space),
+    )
+
+
 def figure2_cases(n: int | None = None, seed: int = FIG2_SEED) -> list[Figure2Case]:
     """The four (problem, mixer) pairs of Figure 2.
 
@@ -82,51 +125,7 @@ def figure2_cases(n: int | None = None, seed: int = FIG2_SEED) -> list[Figure2Ca
     Densest-k-Subgraph + Clique, Max-k-Vertex-Cover + Ring, all on
     ``G(n, 0.5)`` with ``k = n/2`` for the constrained problems.
     """
-    if n is None:
-        n = 12 if is_paper_scale() else 8
-    k = n // 2
-    cases: list[Figure2Case] = []
-
-    maxcut = make_problem("maxcut", n, seed=seed)
-    cases.append(
-        Figure2Case(
-            label="maxcut+transverse_field",
-            problem=maxcut,
-            mixer=transverse_field_mixer(n),
-            cost=PrecomputedCost(values=maxcut.objective_values(), space=maxcut.space),
-        )
-    )
-
-    ksat = make_problem("ksat", n, seed=seed + 1, clause_density=6.0, sat_k=3)
-    cases.append(
-        Figure2Case(
-            label="3sat+grover",
-            problem=ksat,
-            mixer=grover_mixer(n),
-            cost=PrecomputedCost(values=ksat.objective_values(), space=ksat.space),
-        )
-    )
-
-    dks = make_problem("densest_subgraph", n, seed=seed + 2, k=k)
-    cases.append(
-        Figure2Case(
-            label="densest_k_subgraph+clique",
-            problem=dks,
-            mixer=CliqueMixer(n, k),
-            cost=PrecomputedCost(values=dks.objective_values(), space=dks.space),
-        )
-    )
-
-    kvc = make_problem("vertex_cover", n, seed=seed + 3, k=k)
-    cases.append(
-        Figure2Case(
-            label="k_vertex_cover+ring",
-            problem=kvc,
-            mixer=RingMixer(n, k),
-            cost=PrecomputedCost(values=kvc.objective_values(), space=kvc.space),
-        )
-    )
-    return cases
+    return [figure2_case(i, n=n, seed=seed) for i in range(len(FIGURE2_CASE_LABELS))]
 
 
 # ---------------------------------------------------------------------------

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..problems.graphs import edge_array
 from .circuit import Circuit
-from .gates import Gate, cnot, global_phase, hadamard, rx, rz, rzz, xy_rotation
+from .gates import cnot, global_phase, hadamard, rx, rz, rzz, xy_rotation
 
 __all__ = [
     "initial_layer",
@@ -38,7 +38,9 @@ def initial_layer(n: int) -> Circuit:
     return circuit
 
 
-def maxcut_cost_layer(graph: nx.Graph, gamma: float, *, include_global_phase: bool = True) -> Circuit:
+def maxcut_cost_layer(
+    graph: nx.Graph, gamma: float, *, include_global_phase: bool = True
+) -> Circuit:
     """Circuit implementing ``exp(-i gamma C)`` for the MaxCut objective.
 
     Using ``C = sum_e (1 - Z_u Z_v) / 2`` each edge contributes an

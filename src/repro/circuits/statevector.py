@@ -21,7 +21,9 @@ from .gates import Gate
 __all__ = ["apply_gate", "StatevectorBackend"]
 
 
-def apply_gate(state: np.ndarray, gate: Gate, n: int, *, diagonal_fast_path: bool = True) -> np.ndarray:
+def apply_gate(
+    state: np.ndarray, gate: Gate, n: int, *, diagonal_fast_path: bool = True
+) -> np.ndarray:
     """Apply one gate to a length-``2^n`` statevector and return the new state."""
     state = np.asarray(state, dtype=np.complex128)
     if state.shape != (1 << n,):
@@ -37,7 +39,8 @@ def apply_gate(state: np.ndarray, gate: Gate, n: int, *, diagonal_fast_path: boo
         labels = np.arange(1 << n, dtype=np.uint64)
         local = np.zeros(1 << n, dtype=np.int64)
         for j, qubit in enumerate(gate.qubits):
-            local |= (((labels >> np.uint64(qubit)) & np.uint64(1)) << np.uint64(j)).astype(np.int64)
+            bit = (labels >> np.uint64(qubit)) & np.uint64(1)
+            local |= (bit << np.uint64(j)).astype(np.int64)
         return state * diag[local]
 
     k = gate.num_qubits
@@ -83,9 +86,7 @@ class StatevectorBackend:
             if state.shape != (dim,):
                 raise ValueError(f"initial state has shape {state.shape}, expected ({dim},)")
         for gate in circuit:
-            state = apply_gate(
-                state, gate, circuit.n, diagonal_fast_path=self.diagonal_fast_path
-            )
+            state = apply_gate(state, gate, circuit.n, diagonal_fast_path=self.diagonal_fast_path)
             self.gates_applied += 1
         return state
 

@@ -1,0 +1,295 @@
+"""``python -m repro`` — the experiment-runner command line.
+
+Commands
+--------
+``repro list``
+    Show every registered experiment with its work-list size at the
+    requested ``--scale``.
+
+``repro run fig2 fig4a ... | all``
+    Run (or resume) figure sweeps into per-experiment run stores under
+    ``--out``.  Work is sharded across ``--workers`` processes; completed
+    tasks recorded in a store's manifest are skipped, so re-running after an
+    interruption picks up where the sweep stopped.  ``--shard I/M`` takes a
+    static 1-of-M slice of the work-list for multi-machine fan-out.
+
+``repro status``
+    Summarize every run store under ``--out`` (tasks completed, rows, state).
+
+``repro report``
+    Print the result rows of each store as aligned tables, and optionally
+    dump everything to a single JSON file with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .bench.figures import format_rows
+from .experiments.runner import run_experiment, scale_env, store_directory
+from .experiments.store import MANIFEST_NAME, ROWS_NAME, RunStore, RunStoreError
+from .experiments.tasks import EXPERIMENT_NAMES, enumerate_tasks, get_experiment
+from .hpc.parallel import default_workers
+
+__all__ = ["main", "build_parser"]
+
+
+class _CliError(Exception):
+    """A user-facing CLI error (printed to stderr, exit code 2)."""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sharded, resumable runner for the paper's figure sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common_out = {
+        "default": "runs",
+        "help": "root directory holding the per-experiment run stores (default: runs)",
+    }
+
+    p_list = sub.add_parser("list", help="list experiments and their work-list sizes")
+    p_list.add_argument("--scale", choices=("quick", "paper"), default="quick")
+
+    p_run = sub.add_parser("run", help="run or resume figure sweeps")
+    p_run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one or more of {', '.join(EXPERIMENT_NAMES)}, or 'all'",
+    )
+    p_run.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    p_run.add_argument("--out", **common_out)
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per experiment (default: REPRO_WORKERS or CPU count)",
+    )
+    p_run.add_argument(
+        "--shard",
+        default="1/1",
+        metavar="I/M",
+        help="run only the I-th of M static work-list shards (1-based, default 1/1)",
+    )
+    p_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an executor parameter (JSON-decoded; single experiment only)",
+    )
+    p_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing run store for the target experiments first",
+    )
+
+    p_status = sub.add_parser("status", help="summarize run stores under --out")
+    p_status.add_argument("--out", **common_out)
+
+    p_report = sub.add_parser("report", help="print result rows from run stores")
+    p_report.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to report (default: every store found under --out)",
+    )
+    p_report.add_argument("--out", **common_out)
+    p_report.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write all reported rows to PATH as one JSON document",
+    )
+    return parser
+
+
+def _resolve_targets(names: list[str]) -> list[str]:
+    if "all" in names:
+        return list(EXPERIMENT_NAMES)
+    seen: list[str] = []
+    for name in names:
+        try:
+            get_experiment(name)
+        except KeyError as exc:
+            raise _CliError(exc.args[0]) from None
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/M (e.g. 2/4), got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise SystemExit(f"--shard expects 1 <= I <= M, got {text!r}")
+    return index - 1, count
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            overrides[key] = json.loads(value)
+        except json.JSONDecodeError:
+            overrides[key] = value
+    return overrides
+
+
+def _open_store(directory: Path) -> RunStore:
+    """Open a store for reading, normalizing every failure mode to RunStoreError."""
+    try:
+        store = RunStore.open(directory)
+        store.manifest  # force the manifest load so corruption surfaces here
+        return store
+    except RunStoreError:
+        raise
+    except (json.JSONDecodeError, OSError, KeyError, ValueError) as exc:
+        raise RunStoreError(f"unreadable run store at {directory}: {exc}") from exc
+
+
+def _find_stores(out_dir: Path) -> list[RunStore]:
+    """Readable stores under ``out_dir``; unreadable ones are reported, not fatal."""
+    if not out_dir.is_dir():
+        return []
+    stores = []
+    for manifest in sorted(out_dir.glob(f"*/{MANIFEST_NAME}")):
+        try:
+            stores.append(_open_store(manifest.parent))
+        except RunStoreError as exc:
+            print(f"warning: skipping {manifest.parent}: {exc}", file=sys.stderr)
+    return stores
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    with scale_env(args.scale):
+        for name in EXPERIMENT_NAMES:
+            spec = get_experiment(name)
+            rows.append(
+                {
+                    "experiment": name,
+                    "tasks": len(enumerate_tasks(name)),
+                    "scale": args.scale,
+                    "title": spec.title,
+                }
+            )
+    print(format_rows(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = _resolve_targets(args.experiments)
+    shard = _parse_shard(args.shard)
+    overrides = _parse_overrides(args.overrides)
+    if overrides and len(targets) > 1:
+        raise SystemExit("--set overrides apply to a single experiment; run targets separately")
+    workers = default_workers() if args.workers is None else max(1, args.workers)
+    failures = 0
+    for name in targets:
+        directory = store_directory(args.out, name, args.scale)
+        if args.fresh:
+            stale_names = (MANIFEST_NAME, ROWS_NAME, ROWS_NAME + ".tmp")
+            for stale in (directory / stale_name for stale_name in stale_names):
+                stale.unlink(missing_ok=True)
+        try:
+            run_experiment(
+                name,
+                scale=args.scale,
+                out_dir=args.out,
+                workers=workers,
+                overrides=overrides,
+                shard=shard,
+                log=print,
+            )
+        except (RunStoreError, ValueError) as exc:
+            # ValueError covers user input rejected downstream (unknown
+            # --set override key, bad scale) — a clean message, not a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    stores = _find_stores(Path(args.out))
+    if not stores:
+        print(f"no run stores under {args.out}")
+        return 0
+    print(format_rows([store.status() for store in stores]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    if args.experiments:
+        stores = []
+        for name in _resolve_targets(args.experiments):
+            matches = sorted(out_dir.glob(f"{name}-*/{MANIFEST_NAME}"))
+            if not matches:
+                print(f"error: no run store for {name!r} under {out_dir}", file=sys.stderr)
+                return 1
+            try:
+                stores.extend(_open_store(m.parent) for m in matches)
+            except RunStoreError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+    else:
+        stores = _find_stores(out_dir)
+        if not stores:
+            print(f"no run stores under {args.out}")
+            return 0
+    combined: dict[str, list[dict]] = {}
+    failures = 0
+    for store in stores:
+        spec = get_experiment(store.experiment)
+        status = store.status()
+        try:
+            rows = store.rows()
+        except ValueError as exc:
+            print(f"warning: skipping {store.directory}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        combined[f"{store.experiment}-{store.scale}"] = rows
+        print(f"\n=== {spec.title} [{status['state']}, scale={store.scale}] ===")
+        print(format_rows(rows))
+    if args.json_path:
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(combined, indent=2, default=float), encoding="utf-8")
+        print(f"\n(rows written to {path})")
+    # Explicitly requested stores that could not be read are an error; in
+    # discovery mode unreadable stores are only warned about.
+    return 1 if failures and args.experiments else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except _CliError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted — completed tasks are recorded; re-run to resume", file=sys.stderr)
+        return 130

@@ -77,9 +77,7 @@ def _prepare(mixer, obj_vals, p, angles):
         obj_vals, dtype=np.float64
     )
     if values.shape != (schedule.dim,):
-        raise ValueError(
-            f"objective values have shape {values.shape}, expected ({schedule.dim},)"
-        )
+        raise ValueError(f"objective values have shape {values.shape}, expected ({schedule.dim},)")
     return schedule, values
 
 

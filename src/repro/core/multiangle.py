@@ -27,7 +27,9 @@ __all__ = [
 ]
 
 
-def multi_angle_schedule(n: int, p: int, terms: Sequence[Sequence[int]] | None = None) -> MixerSchedule:
+def multi_angle_schedule(
+    n: int, p: int, terms: Sequence[Sequence[int]] | None = None
+) -> MixerSchedule:
     """A ``p``-round schedule in which every round is a multi-angle X mixer.
 
     ``terms`` defaults to the transverse-field terms ``[(0,), (1,), ..., (n-1,)]``,
@@ -49,13 +51,13 @@ def pack_angles(betas_per_round: Sequence[Sequence[float]], gammas: Sequence[flo
     flat_betas = [float(b) for round_betas in betas_per_round for b in np.atleast_1d(round_betas)]
     gammas = [float(g) for g in gammas]
     if len(betas_per_round) != len(gammas):
-        raise ValueError(
-            f"got {len(betas_per_round)} beta rounds but {len(gammas)} gammas"
-        )
+        raise ValueError(f"got {len(betas_per_round)} beta rounds but {len(gammas)} gammas")
     return np.array(flat_betas + gammas, dtype=np.float64)
 
 
-def unpack_angles(angles: np.ndarray, schedule: MixerSchedule) -> tuple[list[np.ndarray], np.ndarray]:
+def unpack_angles(
+    angles: np.ndarray, schedule: MixerSchedule
+) -> tuple[list[np.ndarray], np.ndarray]:
     """Inverse of :func:`pack_angles` for a given schedule."""
     angles = np.asarray(angles, dtype=np.float64).ravel()
     expected = num_multi_angles(schedule)

@@ -4,7 +4,8 @@ This module is the package's core: given pre-computed objective values over a
 feasible space and a pre-diagonalized mixer (or per-round mixer schedule), it
 evolves
 
-    |beta, gamma> = e^{-i beta_p H_M} e^{-i gamma_p H_C} ... e^{-i beta_1 H_M} e^{-i gamma_1 H_C} |psi0>
+    |beta, gamma> =
+        e^{-i beta_p H_M} e^{-i gamma_p H_C} ... e^{-i beta_1 H_M} e^{-i gamma_1 H_C} |psi0>
 
 and exposes the expectation value ``<beta,gamma| C |beta,gamma>``, per-state
 amplitudes and the probability of measuring an optimal state, mirroring the
@@ -47,7 +48,9 @@ __all__ = [
 # angles layout
 # ---------------------------------------------------------------------------
 
-def split_angles(angles: np.ndarray, schedule: MixerSchedule) -> tuple[list[np.ndarray], np.ndarray]:
+def split_angles(
+    angles: np.ndarray, schedule: MixerSchedule
+) -> tuple[list[np.ndarray], np.ndarray]:
     """Split a flat angle vector into per-round betas and the gamma vector.
 
     The layout follows the paper's Listing 1: the first block holds the mixer
@@ -238,9 +241,7 @@ def evolve_state(
     dim = schedule.dim
     cost_values = np.asarray(cost_values, dtype=np.float64)
     if cost_values.shape != (dim,):
-        raise ValueError(
-            f"objective values have shape {cost_values.shape}, expected ({dim},)"
-        )
+        raise ValueError(f"objective values have shape {cost_values.shape}, expected ({dim},)")
 
     if workspace is None:
         workspace = Workspace(dim)
@@ -291,9 +292,7 @@ def evolve_state_batch(
     """
     gammas = np.asarray(gammas, dtype=np.float64)
     if gammas.ndim != 2 or gammas.shape[0] != schedule.p:
-        raise ValueError(
-            f"gammas have shape {gammas.shape}, expected ({schedule.p}, M)"
-        )
+        raise ValueError(f"gammas have shape {gammas.shape}, expected ({schedule.p}, M)")
     batch = gammas.shape[1]
     if isinstance(betas, np.ndarray) and betas.ndim == 2 and len(betas) == schedule.p:
         beta_rounds = [betas[k][None, :] for k in range(schedule.p)]
@@ -303,16 +302,12 @@ def evolve_state_batch(
         raise ValueError(f"expected {schedule.p} beta entries, got {len(beta_rounds)}")
     for count, beta_k in zip(schedule.beta_counts(), beta_rounds):
         if beta_k.shape != (count, batch):
-            raise ValueError(
-                f"round betas have shape {beta_k.shape}, expected ({count}, {batch})"
-            )
+            raise ValueError(f"round betas have shape {beta_k.shape}, expected ({count}, {batch})")
 
     dim = schedule.dim
     cost_values = np.asarray(cost_values, dtype=np.float64)
     if cost_values.shape != (dim,):
-        raise ValueError(
-            f"objective values have shape {cost_values.shape}, expected ({dim},)"
-        )
+        raise ValueError(f"objective values have shape {cost_values.shape}, expected ({dim},)")
 
     if workspace is None:
         workspace = BatchedWorkspace(dim, batch)
@@ -398,9 +393,7 @@ def simulate(
     if isinstance(obj_vals, PrecomputedCost):
         cost = obj_vals
         if cost.maximize != maximize:
-            cost = PrecomputedCost(
-                values=cost.values.copy(), space=cost.space, maximize=maximize
-            )
+            cost = PrecomputedCost(values=cost.values.copy(), space=cost.space, maximize=maximize)
     else:
         cost = PrecomputedCost(
             values=np.asarray(obj_vals, dtype=np.float64),
@@ -411,9 +404,7 @@ def simulate(
     betas, gammas = split_angles(angles, schedule)
     if initial_state is None:
         initial_state = schedule.initial_state()
-    psi = evolve_state(
-        betas, gammas, schedule, cost.values, initial_state, workspace=workspace
-    )
+    psi = evolve_state(betas, gammas, schedule, cost.values, initial_state, workspace=workspace)
     result = QAOAResult(statevector=psi.copy(), cost=cost, angles=angles.copy())
     result._cache["p"] = schedule.p
     return result
@@ -455,9 +446,7 @@ def simulate_batch(
     if isinstance(obj_vals, PrecomputedCost):
         cost = obj_vals
         if cost.maximize != maximize:
-            cost = PrecomputedCost(
-                values=cost.values.copy(), space=cost.space, maximize=maximize
-            )
+            cost = PrecomputedCost(values=cost.values.copy(), space=cost.space, maximize=maximize)
     else:
         cost = PrecomputedCost(
             values=np.asarray(obj_vals, dtype=np.float64),
@@ -479,9 +468,7 @@ def simulate_batch(
     )
     results = []
     for j in range(angles.shape[0]):
-        result = QAOAResult(
-            statevector=psi[:, j].copy(), cost=cost, angles=angles[j].copy()
-        )
+        result = QAOAResult(statevector=psi[:, j].copy(), cost=cost, angles=angles[j].copy())
         result._cache["p"] = schedule.p
         results.append(result)
     return results
@@ -511,7 +498,10 @@ def expectation_value(
         schedule = MixerSchedule(mixer, rounds=p)
     else:
         schedule = MixerSchedule(mixer, rounds=p)
-    values = obj_vals.values if isinstance(obj_vals, PrecomputedCost) else np.asarray(obj_vals, dtype=np.float64)
+    if isinstance(obj_vals, PrecomputedCost):
+        values = obj_vals.values
+    else:
+        values = np.asarray(obj_vals, dtype=np.float64)
     betas, gammas = split_angles(angles, schedule)
     if initial_state is None:
         initial_state = schedule.initial_state()

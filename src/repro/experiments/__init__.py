@@ -1,0 +1,36 @@
+"""Experiment orchestration: enumerable figure sweeps, run stores, sharded runner.
+
+This package turns the paper's figure reproductions into first-class,
+resumable experiments: :mod:`~repro.experiments.tasks` decomposes each figure
+into a deterministic work-list, :mod:`~repro.experiments.store` persists rows
+and progress crash-safely, and :mod:`~repro.experiments.runner` shards the
+work across processes.  The ``python -m repro`` CLI is a thin shell over
+these APIs.
+"""
+
+from .runner import RunReport, all_experiment_names, run_experiment, run_many, store_directory
+from .store import RunStore, RunStoreError
+from .tasks import (
+    EXPERIMENT_NAMES,
+    ExperimentSpec,
+    RowTask,
+    enumerate_tasks,
+    execute_task,
+    get_experiment,
+)
+
+__all__ = [
+    "RunReport",
+    "all_experiment_names",
+    "run_experiment",
+    "run_many",
+    "store_directory",
+    "RunStore",
+    "RunStoreError",
+    "EXPERIMENT_NAMES",
+    "ExperimentSpec",
+    "RowTask",
+    "enumerate_tasks",
+    "execute_task",
+    "get_experiment",
+]

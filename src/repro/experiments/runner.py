@@ -1,0 +1,187 @@
+"""Sharded, resumable execution of experiment work-lists.
+
+The runner turns an experiment name into a deterministic task list
+(:func:`repro.experiments.tasks.enumerate_tasks`), filters out tasks already
+recorded in the :class:`~repro.experiments.store.RunStore`, and executes the
+rest across worker processes via
+:func:`repro.hpc.parallel.parallel_imap_unordered`.  Results stream back to
+the parent, which appends each task's rows to the store as soon as they
+arrive — so a crash or Ctrl-C at any point loses at most the in-flight tasks
+and a re-run resumes from the manifest.
+
+Two levels of sharding compose:
+
+* ``workers`` — processes on this machine (``REPRO_WORKERS``/CPU default);
+* ``shard=(index, count)`` — a static 1-of-``count`` slice of the work-list
+  for fanning a sweep across machines/CI jobs that share nothing but the
+  task enumeration.  Shards may write to the same store directory at
+  different times (e.g. sequential CI jobs); completed tasks are skipped
+  wherever they ran.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..hpc.parallel import parallel_imap_unordered
+from .store import RunStore
+from .tasks import EXPERIMENT_NAMES, RowTask, enumerate_tasks, execute_task, get_experiment
+
+__all__ = [
+    "RunReport",
+    "run_experiment",
+    "run_many",
+    "store_directory",
+    "all_experiment_names",
+    "scale_env",
+]
+
+SCALES = ("quick", "paper")
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What one :func:`run_experiment` call did."""
+
+    experiment: str
+    directory: Path
+    scale: str
+    total_tasks: int
+    shard_tasks: int
+    skipped: int
+    executed: int
+    rows_total: int
+    duration_s: float
+    #: Whether the whole work-list (not just this shard) is now recorded complete.
+    complete: bool
+
+
+def store_directory(out_dir: str | Path, experiment: str, scale: str) -> Path:
+    """Canonical store location for one experiment at one scale."""
+    return Path(out_dir) / f"{experiment}-{scale}"
+
+
+@contextmanager
+def scale_env(scale: str):
+    """Pin ``REPRO_BENCH_SCALE`` for enumeration and (forked) workers."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    old = os.environ.get("REPRO_BENCH_SCALE")
+    os.environ["REPRO_BENCH_SCALE"] = scale
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_BENCH_SCALE", None)
+        else:
+            os.environ["REPRO_BENCH_SCALE"] = old
+
+
+def _execute_timed(task: RowTask) -> tuple[list[dict], float]:
+    start = time.perf_counter()
+    rows = execute_task(task)
+    return rows, time.perf_counter() - start
+
+
+def run_experiment(
+    name: str,
+    *,
+    scale: str = "quick",
+    out_dir: str | Path = "runs",
+    workers: int | None = None,
+    overrides: dict | None = None,
+    shard: tuple[int, int] = (0, 1),
+    log: Callable[[str], None] | None = None,
+) -> RunReport:
+    """Run (or resume) one experiment sweep into its run store.
+
+    ``shard=(i, m)`` executes only tasks whose work-list index is congruent
+    to ``i`` modulo ``m``.  Returns a :class:`RunReport`; the rows themselves
+    live in the store (``RunStore.open(report.directory).rows()``).
+    """
+    spec = get_experiment(name)
+    shard_index, shard_count = shard
+    if shard_count < 1 or not 0 <= shard_index < shard_count:
+        raise ValueError(f"invalid shard {shard_index}/{shard_count}")
+    emit = log or (lambda _msg: None)
+    started = time.perf_counter()
+    with scale_env(scale):
+        tasks = enumerate_tasks(name, overrides)
+        directory = store_directory(out_dir, name, scale)
+        store = RunStore.create_or_resume(
+            directory, experiment=name, scale=scale, tasks=tasks, overrides=overrides
+        )
+        my_tasks = [t for i, t in enumerate(tasks) if i % shard_count == shard_index]
+        pending = store.pending(my_tasks)
+        skipped = len(my_tasks) - len(pending)
+        shard_note = (
+            f", shard {shard_index + 1}/{shard_count} -> {len(my_tasks)}" if shard_count > 1 else ""
+        )
+        resume_note = f", resuming past {skipped} completed" if skipped else ""
+        emit(
+            f"[{name}] {spec.title}: {len(tasks)} task(s) "
+            f"at scale={scale}{shard_note}{resume_note}"
+        )
+        executed = 0
+        for index, (rows, duration) in parallel_imap_unordered(
+            _execute_timed, pending, processes=workers
+        ):
+            task = pending[index]
+            store.record(task.task_id, rows, duration_s=duration)
+            executed += 1
+            emit(
+                f"[{name}] {executed}/{len(pending)} {task.task_id}: "
+                f"{len(rows)} row(s) in {duration:.2f}s"
+            )
+        report = RunReport(
+            experiment=name,
+            directory=directory,
+            scale=scale,
+            total_tasks=len(tasks),
+            shard_tasks=len(my_tasks),
+            skipped=skipped,
+            executed=executed,
+            rows_total=len(store.rows()),
+            duration_s=time.perf_counter() - started,
+            complete=store.is_complete(),
+        )
+    emit(
+        f"[{name}] done: {report.executed} executed, {report.skipped} skipped, "
+        f"{report.rows_total} row(s) in store ({report.directory})"
+    )
+    return report
+
+
+def run_many(
+    names: list[str] | tuple[str, ...],
+    *,
+    scale: str = "quick",
+    out_dir: str | Path = "runs",
+    workers: int | None = None,
+    overrides: dict | None = None,
+    shard: tuple[int, int] = (0, 1),
+    log: Callable[[str], None] | None = None,
+) -> list[RunReport]:
+    """Run several experiments in sequence (``names=EXPERIMENT_NAMES`` for ``all``)."""
+    return [
+        run_experiment(
+            name,
+            scale=scale,
+            out_dir=out_dir,
+            workers=workers,
+            overrides=overrides,
+            shard=shard,
+            log=log,
+        )
+        for name in names
+    ]
+
+
+def all_experiment_names() -> tuple[str, ...]:
+    """The canonical experiment order used by ``repro run all``."""
+    return EXPERIMENT_NAMES

@@ -1,0 +1,262 @@
+"""Crash-safe persistence for experiment sweeps.
+
+A :class:`RunStore` is a directory holding two files:
+
+``manifest.json``
+    The run's identity (experiment, scale, overrides), the full ordered task
+    work-list, and a map of completed tasks.  Written atomically (temp file +
+    rename, the idiom of :mod:`repro.angles.checkpoint`) so readers never see
+    a torn manifest.
+
+``rows.jsonl``
+    Append-only result rows, one JSON object per line, each tagged with the
+    task that produced it.  Rows are fsynced *before* their task is marked
+    complete in the manifest, so the manifest's ``completed`` map is the
+    single source of truth: a crash between the two writes merely leaves
+    orphan rows, which are compacted away the next time the store is opened.
+
+An interrupted sweep therefore resumes by re-enumerating the work-list,
+skipping every task in ``completed``, and appending the rest.  Reading rows
+back yields them grouped in work-list order regardless of the (possibly
+sharded, unordered) execution order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..io.results import append_jsonl, read_jsonl, write_json_atomic
+from .tasks import RowTask
+
+__all__ = ["RunStore", "RunStoreError", "MANIFEST_NAME", "ROWS_NAME"]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ROWS_NAME = "rows.jsonl"
+
+
+class RunStoreError(RuntimeError):
+    """A run store is missing, corrupt, or incompatible with the requested run."""
+
+
+class RunStore:
+    """One experiment run persisted under ``directory`` (see module docstring)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / MANIFEST_NAME
+        self.rows_path = self.directory / ROWS_NAME
+        self._manifest: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str | Path) -> "RunStore":
+        """Open an existing store for reading, failing clearly if there is none.
+
+        Opening never mutates the store (``repro status``/``report`` must be
+        safe to run while a sweep is writing): orphan rows from a crashed
+        append are filtered out at read time by :meth:`rows` and compacted
+        away only by the writing runner (:meth:`create_or_resume`).
+        """
+        store = cls(directory)
+        if not store.manifest_path.exists():
+            raise RunStoreError(f"no run store at {store.directory} (missing {MANIFEST_NAME})")
+        store._load_manifest()
+        return store
+
+    @classmethod
+    def create_or_resume(
+        cls,
+        directory: str | Path,
+        *,
+        experiment: str,
+        scale: str,
+        tasks: Sequence[RowTask],
+        overrides: dict | None = None,
+    ) -> "RunStore":
+        """Create a fresh store, or validate + compact an existing one for resume.
+
+        Resuming requires the stored run to match the requested experiment,
+        scale, overrides and task work-list exactly; anything else would
+        silently mix incompatible rows, so it raises :class:`RunStoreError`
+        (pick a new directory or delete the old run).
+        """
+        store = cls(directory)
+        # Normalize to JSON-canonical form (tuples -> lists, numpy scalars ->
+        # floats) so the comparison against a manifest that round-tripped
+        # through json.dump treats an identical re-run as identical.
+        overrides = json.loads(json.dumps(dict(overrides or {}), default=float))
+        task_ids = [t.task_id for t in tasks]
+        if len(set(task_ids)) != len(task_ids):
+            raise RunStoreError(f"duplicate task ids in {experiment!r} work-list")
+        if store.manifest_path.exists():
+            store._load_manifest()
+            store._check_compatible(experiment, scale, task_ids, overrides)
+            store._compact_orphan_rows()
+            return store
+        store._manifest = {
+            "format_version": FORMAT_VERSION,
+            "experiment": experiment,
+            "scale": scale,
+            "overrides": overrides,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "task_ids": task_ids,
+            "completed": {},
+        }
+        store._save_manifest()
+        return store
+
+    def _load_manifest(self) -> None:
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        version = int(data.get("format_version", 0))
+        if version != FORMAT_VERSION:
+            raise RunStoreError(
+                f"unsupported run-store format version {version} at {self.manifest_path}"
+            )
+        self._manifest = data
+
+    def _save_manifest(self) -> None:
+        assert self._manifest is not None
+        write_json_atomic(self.manifest_path, self._manifest)
+
+    def _check_compatible(
+        self, experiment: str, scale: str, task_ids: list[str], overrides: dict
+    ) -> None:
+        manifest = self.manifest
+        mismatches = []
+        if manifest["experiment"] != experiment:
+            mismatches.append(f"experiment {manifest['experiment']!r} != {experiment!r}")
+        if manifest["scale"] != scale:
+            mismatches.append(f"scale {manifest['scale']!r} != {scale!r}")
+        if manifest.get("overrides", {}) != overrides:
+            mismatches.append(f"overrides {manifest.get('overrides', {})!r} != {overrides!r}")
+        if manifest["task_ids"] != task_ids:
+            mismatches.append("task work-list differs")
+        if mismatches:
+            raise RunStoreError(
+                f"existing run at {self.directory} is incompatible with the requested run "
+                f"({'; '.join(mismatches)}); use a fresh output directory or delete the old run"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            self._load_manifest()
+        assert self._manifest is not None
+        return self._manifest
+
+    @property
+    def experiment(self) -> str:
+        return str(self.manifest["experiment"])
+
+    @property
+    def scale(self) -> str:
+        return str(self.manifest["scale"])
+
+    def task_ids(self) -> list[str]:
+        """The full ordered work-list recorded at creation time."""
+        return list(self.manifest["task_ids"])
+
+    def completed_ids(self) -> set[str]:
+        """Tasks whose rows are durably stored."""
+        return set(self.manifest["completed"])
+
+    def is_complete(self) -> bool:
+        """Whether every task of the work-list has completed."""
+        return self.completed_ids() >= set(self.manifest["task_ids"])
+
+    def pending(self, tasks: Iterable[RowTask]) -> list[RowTask]:
+        """The subset of ``tasks`` not yet completed, preserving order."""
+        done = self.completed_ids()
+        return [t for t in tasks if t.task_id not in done]
+
+    def status(self) -> dict:
+        """A machine-readable progress summary (used by ``repro status``)."""
+        manifest = self.manifest
+        completed = manifest["completed"]
+        return {
+            "experiment": manifest["experiment"],
+            "scale": manifest["scale"],
+            "directory": str(self.directory),
+            "tasks": len(manifest["task_ids"]),
+            "completed": len(completed),
+            "rows": int(sum(entry["rows"] for entry in completed.values())),
+            "state": "complete" if self.is_complete() else "partial",
+        }
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(self, task_id: str, rows: Sequence[dict], *, duration_s: float = 0.0) -> None:
+        """Durably store one task's rows and mark the task complete.
+
+        Rows hit disk (fsync) before the manifest update, so a crash in
+        between leaves recoverable state: the task re-runs on resume and its
+        orphan rows are compacted away.
+        """
+        manifest = self.manifest
+        if task_id not in manifest["task_ids"]:
+            raise RunStoreError(f"task {task_id!r} is not in this run's work-list")
+        if task_id in manifest["completed"]:
+            raise RunStoreError(f"task {task_id!r} is already recorded")
+        append_jsonl(
+            self.rows_path,
+            [{"task_id": task_id, "row": dict(row)} for row in rows],
+        )
+        # Merge completions another shard may have recorded since we loaded the
+        # manifest, so writers targeting the same store don't drop each other's
+        # entries (shards are still expected to avoid fully simultaneous starts;
+        # see the runner docstring).
+        if self.manifest_path.exists():
+            self._load_manifest()
+            manifest = self.manifest
+        manifest["completed"][task_id] = {
+            "rows": len(rows),
+            "duration_s": round(float(duration_s), 6),
+        }
+        self._save_manifest()
+
+    def _compact_orphan_rows(self) -> None:
+        """Drop rows whose task never completed (crash between append and manifest)."""
+        records = read_jsonl(self.rows_path)
+        completed = self.completed_ids()
+        kept = [r for r in records if r.get("task_id") in completed]
+        if len(kept) != len(records):
+            # Rewrite the JSONL atomically: fresh temp content, then replace.
+            tmp = self.rows_path.with_name(ROWS_NAME + ".tmp")
+            if tmp.exists():
+                tmp.unlink()
+            append_jsonl(tmp, kept)
+            tmp.replace(self.rows_path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """All rows of completed tasks, grouped in work-list order.
+
+        Orphan rows (task never marked complete) are skipped, and each task's
+        rows are capped at the count its manifest entry recorded, so neither a
+        crashed append nor a double-recorded task can inflate the results.
+        """
+        records = read_jsonl(self.rows_path)
+        completed = self.manifest["completed"]
+        by_task: dict[str, list[dict]] = {}
+        for record in records:
+            task_id = record.get("task_id")
+            if task_id in completed:
+                by_task.setdefault(task_id, []).append(record["row"])
+        ordered: list[dict] = []
+        for task_id in self.manifest["task_ids"]:
+            if task_id in completed:
+                ordered.extend(by_task.get(task_id, [])[: completed[task_id]["rows"]])
+        return ordered

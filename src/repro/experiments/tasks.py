@@ -1,0 +1,248 @@
+"""Deterministic work-list decomposition of the paper's figure sweeps.
+
+Each experiment (one per figure, plus the Grover-compression study of
+Sec. 2.4) is described by an :class:`ExperimentSpec` that can *enumerate* its
+work as a list of :class:`RowTask` units and *execute* any single unit
+independently.  Tasks carry only JSON-serializable parameters, so they can be
+pickled to worker processes, recorded in a run-store manifest, and re-derived
+bit-for-bit on resume.  Concatenating the row lists of an experiment's tasks
+in enumeration order reproduces exactly what the corresponding
+``repro.bench.figures.run_figure*`` call returns.
+
+Granularity follows the data dependencies of each figure: Fig. 2 shards per
+problem/mixer case, Figs. 4a/4b per grid point, Fig. 5 per round count, and
+the Grover study per instance size.  Fig. 3 couples all instances through the
+median-angle strategy (medians are taken across the ensemble), so it is a
+single task by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..bench.figures import (
+    figure2_case_rows,
+    figure4a_point_rows,
+    figure4a_points,
+    figure4b_point_rows,
+    figure4b_points,
+    figure5_round_rows,
+    figure5_round_values,
+    grover_dense_rows,
+    grover_large_rows,
+    run_figure3,
+)
+from ..bench.workloads import FIGURE2_CASE_LABELS, bench_scale
+
+__all__ = [
+    "RowTask",
+    "ExperimentSpec",
+    "EXPERIMENT_NAMES",
+    "get_experiment",
+    "enumerate_tasks",
+    "execute_task",
+]
+
+
+@dataclass(frozen=True)
+class RowTask:
+    """One independently executable unit of a figure sweep.
+
+    ``task_id`` is stable across runs at the same scale/overrides and is what
+    the run store uses to skip completed work on resume.  ``params`` are the
+    keyword arguments of the experiment's executor function.
+    """
+
+    experiment: str
+    task_id: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, enumerable experiment (one figure of the paper)."""
+
+    name: str
+    title: str
+    enumerate: Callable[[dict], list[RowTask]]
+    executor: Callable[..., list[dict]]
+    override_keys: tuple[str, ...]
+
+
+def _check_overrides(spec_name: str, overrides: dict, allowed: tuple[str, ...]) -> dict:
+    unknown = sorted(set(overrides) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown override(s) {unknown} for experiment {spec_name!r}; "
+            f"allowed keys: {sorted(allowed)}"
+        )
+    return dict(overrides)
+
+
+# ---------------------------------------------------------------------------
+# Per-figure enumerators
+# ---------------------------------------------------------------------------
+
+_FIG2_KEYS = ("p_max", "n", "seed", "n_hops", "rng_seed")
+
+
+def _fig2_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("fig2", overrides, _FIG2_KEYS)
+    return [
+        RowTask("fig2", f"case={label}", {"case_index": index, **params})
+        for index, label in enumerate(FIGURE2_CASE_LABELS)
+    ]
+
+
+_FIG3_KEYS = ("p_max", "num_instances", "n", "random_iters", "n_hops", "rng_seed")
+
+
+def _fig3_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("fig3", overrides, _FIG3_KEYS)
+    # The median-angle strategy couples every instance of the ensemble, so the
+    # whole figure is one unit of work.
+    return [RowTask("fig3", "ensemble", params)]
+
+
+_FIG4A_KEYS = ("p", "repeats", "seed", "include_dense")
+
+
+def _fig4a_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("fig4a", overrides, _FIG4A_KEYS)
+    include_dense = params.pop("include_dense", None)
+    return [
+        RowTask("fig4a", f"sim={sim}/n={n}", {"simulator": sim, "n": n, **params})
+        for sim, n in figure4a_points(include_dense=include_dense)
+    ]
+
+
+_FIG4B_KEYS = ("n", "repeats", "seed", "include_dense")
+
+
+def _fig4b_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("fig4b", overrides, _FIG4B_KEYS)
+    include_dense = bool(params.pop("include_dense", False))
+    n, points = figure4b_points(params.pop("n", None), include_dense=include_dense)
+    return [
+        RowTask("fig4b", f"sim={sim}/p={p}", {"simulator": sim, "p": p, "n": n, **params})
+        for sim, p in points
+    ]
+
+
+_FIG5_KEYS = ("num_instances", "n", "maxiter", "rng_seed", "round_values")
+
+
+def _fig5_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("fig5", overrides, _FIG5_KEYS)
+    round_values = params.pop("round_values", None)
+    if round_values is None:
+        round_values = figure5_round_values()
+    return [RowTask("fig5", f"p={p}", {"p": int(p), **params}) for p in round_values]
+
+
+_GROVER_KEYS = ("p", "repeats", "dense_qubits", "large_qubits")
+
+
+def _grover_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("grover", overrides, _GROVER_KEYS)
+    dense_qubits = params.pop("dense_qubits", (8, 10, 12))
+    large_qubits = params.pop("large_qubits", (40, 100))
+    tasks = [
+        RowTask("grover", f"dense/n={n}", {"kind": "dense", "n": int(n), **params})
+        for n in dense_qubits
+    ]
+    tasks.extend(
+        RowTask("grover", f"large/n={n}", {"kind": "large", "n": int(n), **params})
+        for n in large_qubits
+    )
+    return tasks
+
+
+def _execute_grover(kind: str, n: int, **kwargs) -> list[dict]:
+    if kind == "dense":
+        return grover_dense_rows(n, **kwargs)
+    if kind == "large":
+        return grover_large_rows(n, **kwargs)
+    raise ValueError(f"unknown grover task kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            name="fig2",
+            title="Figure 2 — quality vs rounds for four problem/mixer pairs",
+            enumerate=_fig2_tasks,
+            executor=figure2_case_rows,
+            override_keys=_FIG2_KEYS,
+        ),
+        ExperimentSpec(
+            name="fig3",
+            title="Figure 3 — angle-finding strategy comparison (slowest figure)",
+            enumerate=_fig3_tasks,
+            executor=run_figure3,
+            override_keys=_FIG3_KEYS,
+        ),
+        ExperimentSpec(
+            name="fig4a",
+            title="Figure 4a — time & memory vs qubits (p=1 MaxCut)",
+            enumerate=_fig4a_tasks,
+            executor=figure4a_point_rows,
+            override_keys=_FIG4A_KEYS,
+        ),
+        ExperimentSpec(
+            name="fig4b",
+            title="Figure 4b — time vs rounds (fixed-n MaxCut)",
+            enumerate=_fig4b_tasks,
+            executor=figure4b_point_rows,
+            override_keys=_FIG4B_KEYS,
+        ),
+        ExperimentSpec(
+            name="fig5",
+            title="Figure 5 — BFGS with finite-difference vs adjoint gradients",
+            enumerate=_fig5_tasks,
+            executor=figure5_round_rows,
+            override_keys=_FIG5_KEYS,
+        ),
+        ExperimentSpec(
+            name="grover",
+            title="Sec. 2.4 — Grover-mixer value compression",
+            enumerate=_grover_tasks,
+            executor=_execute_grover,
+            override_keys=_GROVER_KEYS,
+        ),
+    )
+}
+
+#: Canonical experiment order (the order ``repro run all`` executes).
+EXPERIMENT_NAMES = tuple(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment by name (raises ``KeyError`` with choices listed)."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}") from None
+
+
+def enumerate_tasks(name: str, overrides: dict | None = None) -> list[RowTask]:
+    """The deterministic work-list of an experiment at the active bench scale.
+
+    The list depends on ``REPRO_BENCH_SCALE`` (via the workload generators),
+    which is why the runner records the scale in the manifest and re-applies
+    it before enumerating on resume.
+    """
+    bench_scale()  # validate the active scale early, with the usual error
+    return _EXPERIMENTS[name].enumerate(dict(overrides or {}))
+
+
+def execute_task(task: RowTask) -> list[dict]:
+    """Execute one task and return its result rows (runs inside worker processes)."""
+    spec = get_experiment(task.experiment)
+    return spec.executor(**task.params)

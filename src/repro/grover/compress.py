@@ -72,9 +72,7 @@ class CompressedObjective:
             raise ValueError("degeneracies must be positive")
         total = sum(degeneracies)
         if total != self.total:
-            raise ValueError(
-                f"total={self.total} does not match the sum of degeneracies ({total})"
-            )
+            raise ValueError(f"total={self.total} does not match the sum of degeneracies ({total})")
         object.__setattr__(self, "values", values)
         object.__setattr__(self, "degeneracies", degeneracies)
 
@@ -121,7 +119,9 @@ class CompressedObjective:
         return np.repeat(self.values, [int(d) for d in self.degeneracies])
 
 
-def compress_objective(obj_vals: np.ndarray | Sequence[float], decimals: int | None = None) -> CompressedObjective:
+def compress_objective(
+    obj_vals: np.ndarray | Sequence[float], decimals: int | None = None
+) -> CompressedObjective:
     """Compress an explicit objective vector into distinct values + degeneracies.
 
     ``decimals`` optionally rounds values before grouping, which is useful for

@@ -38,9 +38,7 @@ __all__ = [
 ]
 
 # 16-bit lookup table for vectorized popcount on arbitrary integer arrays.
-_POPCOUNT16 = np.array(
-    [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
-)
+_POPCOUNT16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
 
 
 def popcount(values: np.ndarray | int) -> np.ndarray | int:

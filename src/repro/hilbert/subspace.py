@@ -106,9 +106,7 @@ class FeasibleSpace:
         """Evaluate a vectorized cost ``cost_vec`` on the full bit matrix at once."""
         vals = np.asarray(cost_vec(self.bits), dtype=np.float64)
         if vals.shape != (self.dim,):
-            raise ValueError(
-                f"vectorized cost returned shape {vals.shape}, expected ({self.dim},)"
-            )
+            raise ValueError(f"vectorized cost returned shape {vals.shape}, expected ({self.dim},)")
         return vals
 
     def initial_state(self, dtype=np.complex128) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""HPC-friendly helpers: state-space partitioning, multi-process pre-computation, memory accounting."""
+"""HPC helpers: state-space partitioning, multi-process pre-computation, memory accounting."""
 
 from .memory import (
     dense_unitary_bytes,
@@ -12,6 +12,7 @@ from .parallel import (
     default_workers,
     evaluate_chunk,
     parallel_compress,
+    parallel_imap_unordered,
     parallel_objective_values,
 )
 from .partition import Chunk, chunk_labels, split_dicke_space, split_full_space, split_range
@@ -26,6 +27,7 @@ __all__ = [
     "default_workers",
     "evaluate_chunk",
     "parallel_compress",
+    "parallel_imap_unordered",
     "parallel_objective_values",
     "Chunk",
     "chunk_labels",

@@ -15,9 +15,10 @@ tests.
 from __future__ import annotations
 
 import os
+import warnings
 from functools import partial
 from multiprocessing import get_context
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -30,6 +31,7 @@ __all__ = [
     "evaluate_chunk",
     "parallel_objective_values",
     "parallel_compress",
+    "parallel_imap_unordered",
 ]
 
 
@@ -40,8 +42,21 @@ def default_workers() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid REPRO_WORKERS value {env!r}; "
+                "expected a positive integer, falling back to the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, os.cpu_count() or 1)
+
+
+def _pool_context():
+    """The multiprocessing context used for worker pools (fork where available)."""
+    try:
+        return get_context("fork")
+    except ValueError:  # platforms without fork (e.g. Windows)
+        return get_context()
 
 
 def evaluate_chunk(
@@ -75,12 +90,39 @@ def _compress_chunk(
 def _run_chunks(worker, chunks: Sequence[Chunk], processes: int):
     if processes <= 1 or len(chunks) <= 1:
         return [worker(chunk) for chunk in chunks]
-    try:
-        ctx = get_context("fork")
-    except ValueError:  # platforms without fork (e.g. Windows)
-        ctx = get_context()
-    with ctx.Pool(processes=min(processes, len(chunks))) as pool:
+    with _pool_context().Pool(processes=min(processes, len(chunks))) as pool:
         return pool.map(worker, chunks)
+
+
+def _apply_indexed(worker, indexed):
+    index, item = indexed
+    return index, worker(item)
+
+
+def parallel_imap_unordered(
+    worker: Callable,
+    items: Iterable,
+    *,
+    processes: int | None = None,
+) -> Iterator[tuple[int, object]]:
+    """Yield ``(index, worker(item))`` pairs as results complete, in any order.
+
+    This is the streaming analogue of :func:`_run_chunks` used by the
+    experiment runner: results are handed back as soon as a worker finishes so
+    the caller can persist them incrementally (crash-safe sweeps).  With
+    ``processes<=1`` or a single item the work runs serially in-process, which
+    keeps the code path identical in restricted environments and in tests.
+    ``worker`` must be picklable (a module-level function or
+    :func:`functools.partial` of one) when more than one process is used.
+    """
+    items = list(items)
+    processes = default_workers() if processes is None else max(1, processes)
+    if processes <= 1 or len(items) <= 1:
+        for pair in enumerate(items):
+            yield _apply_indexed(worker, pair)
+        return
+    with _pool_context().Pool(processes=min(processes, len(items))) as pool:
+        yield from pool.imap_unordered(partial(_apply_indexed, worker), enumerate(items))
 
 
 def parallel_objective_values(

@@ -6,10 +6,22 @@ from .cache import (
     load_eigendecomposition,
     save_eigendecomposition,
 )
+from .results import (
+    append_jsonl,
+    load_rows,
+    read_jsonl,
+    save_rows,
+    write_json_atomic,
+)
 
 __all__ = [
     "cached_eigendecomposition",
     "default_cache_dir",
     "load_eigendecomposition",
     "save_eigendecomposition",
+    "append_jsonl",
+    "load_rows",
+    "read_jsonl",
+    "save_rows",
+    "write_json_atomic",
 ]

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -10,7 +12,16 @@ import numpy as np
 
 from ..core.simulator import QAOAResult
 
-__all__ = ["result_to_dict", "save_result", "load_result_dict", "save_rows", "load_rows"]
+__all__ = [
+    "result_to_dict",
+    "save_result",
+    "load_result_dict",
+    "save_rows",
+    "load_rows",
+    "append_jsonl",
+    "read_jsonl",
+    "write_json_atomic",
+]
 
 
 def result_to_dict(result: QAOAResult, *, include_statevector: bool = False) -> dict:
@@ -61,3 +72,74 @@ def load_rows(path: str | Path) -> list[dict]:
     if not isinstance(data, list):
         raise ValueError("expected a list of rows")
     return data
+
+
+def append_jsonl(path: str | Path, records: Sequence[dict]) -> Path:
+    """Append one JSON object per line to ``path``, fsyncing before returning.
+
+    This is the append-only persistence primitive behind the experiment run
+    store: records survive a crash as soon as the call returns, and a partial
+    final line (torn write) is tolerated by :func:`read_jsonl`.
+
+    If the file ends in a torn line from a previous crashed append, that
+    partial line is truncated away first — otherwise the new record would
+    concatenate onto it and corrupt both.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        raw = path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            os.truncate(path, raw.rfind(b"\n") + 1)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=float) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read records written by :func:`append_jsonl`.
+
+    A torn final line (a crash mid-append leaves partial bytes without a
+    trailing newline) is silently dropped; corruption anywhere else —
+    including a damaged but newline-terminated final record — raises
+    ``ValueError`` rather than silently losing data.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.splitlines()
+    ends_complete = text.endswith("\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not ends_complete:
+                break  # torn final line from an interrupted append
+            raise ValueError(f"corrupt JSONL record at {path}:{i + 1}") from None
+    return records
+
+
+def write_json_atomic(path: str | Path, payload: dict) -> Path:
+    """Write a JSON document via a temp file + rename so readers never see a torn file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=float)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path

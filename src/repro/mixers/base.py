@@ -106,9 +106,7 @@ class Mixer(abc.ABC):
         if betas.ndim == 0:
             betas = np.full(M, float(betas))
         if betas.shape[-1] != M:
-            raise ValueError(
-                f"betas have shape {betas.shape}, expected last axis of length {M}"
-            )
+            raise ValueError(f"betas have shape {betas.shape}, expected last axis of length {M}")
         if out is None:
             out = np.empty((self.dim, M), dtype=np.complex128)
         column = np.empty(self.dim, dtype=np.complex128)
@@ -136,9 +134,7 @@ class Mixer(abc.ABC):
         if out is None:
             out = np.empty((self.dim, M), dtype=np.complex128)
         elif out.shape != (self.dim, M):
-            raise ValueError(
-                f"out has shape {out.shape}, expected ({self.dim}, {M})"
-            )
+            raise ValueError(f"out has shape {out.shape}, expected ({self.dim}, {M})")
         return Psi, out, M
 
     @staticmethod
@@ -162,7 +158,9 @@ class Mixer(abc.ABC):
         """Default QAOA initial state: uniform superposition over the space."""
         return self.space.initial_state(dtype=dtype)
 
-    def apply_inverse(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
+    def apply_inverse(
+        self, psi: np.ndarray, beta: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Return ``exp(+i beta H_M) |psi>`` (the inverse evolution)."""
         return self.apply(psi, -beta, out=out)
 
@@ -200,9 +198,7 @@ class DiagonalizedMixer(Mixer):
         eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
         eigenvectors = np.asarray(eigenvectors)
         if eigenvalues.shape != (space.dim,):
-            raise ValueError(
-                f"eigenvalues have shape {eigenvalues.shape}, expected ({space.dim},)"
-            )
+            raise ValueError(f"eigenvalues have shape {eigenvalues.shape}, expected ({space.dim},)")
         if eigenvectors.shape != (space.dim, space.dim):
             raise ValueError(
                 f"eigenvectors have shape {eigenvectors.shape}, expected "

@@ -38,9 +38,7 @@ class GroverMixer(Mixer):
             initial = space.initial_state()
         initial = np.asarray(initial, dtype=np.complex128)
         if initial.shape != (space.dim,):
-            raise ValueError(
-                f"initial state has shape {initial.shape}, expected ({space.dim},)"
-            )
+            raise ValueError(f"initial state has shape {initial.shape}, expected ({space.dim},)")
         norm = np.linalg.norm(initial)
         if not np.isclose(norm, 1.0):
             if norm == 0:
@@ -82,9 +80,7 @@ class GroverMixer(Mixer):
         if out is not Psi:
             out[:] = Psi
         if workspace is not None:
-            update = np.multiply(
-                self.psi0[:, None], factors[None, :], out=workspace.scratch(M)
-            )
+            update = np.multiply(self.psi0[:, None], factors[None, :], out=workspace.scratch(M))
             out += update
         else:
             out += self.psi0[:, None] * factors[None, :]

@@ -91,9 +91,7 @@ class MixerSchedule:
         """Split a flat beta vector into per-round angle chunks."""
         betas = np.asarray(betas, dtype=np.float64).ravel()
         if betas.size != self.total_betas:
-            raise ValueError(
-                f"expected {self.total_betas} beta angles, got {betas.size}"
-            )
+            raise ValueError(f"expected {self.total_betas} beta angles, got {betas.size}")
         chunks = []
         cursor = 0
         for count in self.beta_counts():

@@ -58,8 +58,9 @@ class HermitianMixer(DiagonalizedMixer):
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError("mixer matrix must be square")
         if not is_hermitian(matrix):
-            raise ValueError("mixer matrix must be Hermitian; "
-                             "use FixedUnitaryMixer for unitary input")
+            raise ValueError(
+                "mixer matrix must be Hermitian; use FixedUnitaryMixer for unitary input"
+            )
         dim = matrix.shape[0]
         if space is None:
             n = dim.bit_length() - 1
@@ -91,7 +92,9 @@ class FixedUnitaryMixer(DiagonalizedMixer):
     ``-phi`` for ``H`` so that ``exp(-i * 1 * H) = U``.
     """
 
-    def __init__(self, unitary: np.ndarray, space: FeasibleSpace | None = None, *, name: str = "unitary"):
+    def __init__(
+        self, unitary: np.ndarray, space: FeasibleSpace | None = None, *, name: str = "unitary"
+    ):
         unitary = np.asarray(unitary, dtype=np.complex128)
         if not is_unitary(unitary):
             raise ValueError("input matrix is not unitary")

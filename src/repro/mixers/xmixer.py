@@ -28,7 +28,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..hilbert.bitops import popcount
-from ..hilbert.subspace import FeasibleSpace, FullSpace
+from ..hilbert.subspace import FullSpace
 from .base import Mixer
 
 __all__ = [
@@ -130,7 +130,9 @@ def walsh_hadamard_gemm(
     return dst
 
 
-def x_term_diagonal(terms: Sequence[Sequence[int]], coefficients: Sequence[float], n: int) -> np.ndarray:
+def x_term_diagonal(
+    terms: Sequence[Sequence[int]], coefficients: Sequence[float], n: int
+) -> np.ndarray:
     """Eigenvalues (in the Hadamard basis) of ``sum_t c_t prod_{i in t} X_i``.
 
     Returns a length-``2^n`` float array ``d`` with
@@ -188,9 +190,7 @@ class XMixer(Mixer):
         # X-mixer spectra take few distinct values (the transverse field has
         # n + 1), so batched eigenphases are an exp over (levels, M) plus a
         # gather instead of an exp over the full (dim, M) matrix.
-        self._diag_values, self._diag_inverse = np.unique(
-            self.diagonal, return_inverse=True
-        )
+        self._diag_values, self._diag_inverse = np.unique(self.diagonal, return_inverse=True)
         self._hadamard_pair = _hadamard_factors(n)
         self._scratch = np.empty(self.dim, dtype=np.complex128)
 
@@ -273,7 +273,8 @@ class XMixer(Mixer):
 
     def cache_key(self) -> str:
         body = "_".join("".join(map(str, t)) for t in self.terms)
-        return f"XMixer_n{self.n}_{hash((tuple(self.terms), tuple(self.coefficients))) & 0xFFFFFFFF:x}_{body[:32]}"
+        digest = hash((tuple(self.terms), tuple(self.coefficients))) & 0xFFFFFFFF
+        return f"XMixer_n{self.n}_{digest:x}_{body[:32]}"
 
 
 def mixer_x(orders: Sequence[int], n: int, coefficients: Sequence[float] | None = None) -> XMixer:
@@ -319,9 +320,7 @@ class MultiAngleXMixer(Mixer):
         if not terms:
             raise ValueError("a multi-angle X mixer needs at least one term")
         self.terms = terms
-        self.term_diagonals = np.stack(
-            [x_term_diagonal([t], [1.0], n) for t in terms], axis=0
-        )
+        self.term_diagonals = np.stack([x_term_diagonal([t], [1.0], n) for t in terms], axis=0)
         # (dim, num_terms) factor pre-scaled by -i, so the batched per-column
         # phase exponents are a single GEMM with the (num_terms, M) angles.
         self._term_diag_T_negj = np.ascontiguousarray(-1j * self.term_diagonals.T)
@@ -375,9 +374,7 @@ class MultiAngleXMixer(Mixer):
                 raise ValueError(f"betas have shape {betas.shape}, expected ({M},)")
             betas = np.broadcast_to(betas, (self.num_angles, M))
         if betas.shape != (self.num_angles, M):
-            raise ValueError(
-                f"betas have shape {betas.shape}, expected ({self.num_angles}, {M})"
-            )
+            raise ValueError(f"betas have shape {betas.shape}, expected ({self.num_angles}, {M})")
         if workspace is not None:
             scratch = workspace.scratch(M)
             phases = workspace.phase(M)

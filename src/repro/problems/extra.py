@@ -13,7 +13,7 @@ tests and examples:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import networkx as nx
 import numpy as np
@@ -45,9 +45,7 @@ def max_independent_set(graph: nx.Graph, x: np.ndarray, penalty: float = 2.0) ->
     """
     x = np.asarray(x)
     if x.shape != (graph.number_of_nodes(),):
-        raise ValueError(
-            f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)"
-        )
+        raise ValueError(f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)")
     edges = edge_array(graph)
     size = float(np.count_nonzero(x == 1))
     if edges.size == 0:

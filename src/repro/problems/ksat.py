@@ -20,7 +20,6 @@ representable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -128,9 +127,7 @@ def random_ksat(
             raise RuntimeError("could not generate enough distinct clauses")
         variables = rng.choice(n, size=k, replace=False)
         signs = rng.integers(0, 2, size=k)
-        clause = tuple(
-            int((v + 1) * (1 if s else -1)) for v, s in zip(variables, signs)
-        )
+        clause = tuple(int((v + 1) * (1 if s else -1)) for v, s in zip(variables, signs))
         clause = tuple(sorted(clause, key=abs))
         if not allow_duplicate_clauses and clause in seen:
             continue

@@ -25,9 +25,7 @@ def maxcut(graph: nx.Graph, x: np.ndarray) -> float:
     """Number of edges cut by the bipartition encoded in the 0/1 array ``x``."""
     x = np.asarray(x)
     if x.shape != (graph.number_of_nodes(),):
-        raise ValueError(
-            f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)"
-        )
+        raise ValueError(f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)")
     edges = edge_array(graph)
     if edges.size == 0:
         return 0.0
@@ -67,7 +65,8 @@ def maxcut_optimum(graph: nx.Graph) -> float:
     chunk = 1 << min(n, 20)
     for start in range(0, 1 << n, chunk):
         block = labels[start : start + chunk]
-        bits = ((block[:, None] >> np.arange(n, dtype=np.uint64)[None, :]) & np.uint64(1)).astype(np.int8)
+        shifts = np.arange(n, dtype=np.uint64)[None, :]
+        bits = ((block[:, None] >> shifts) & np.uint64(1)).astype(np.int8)
         vals = (bits[:, edges[:, 0]] != bits[:, edges[:, 1]]).sum(axis=1)
         best = max(best, int(vals.max()))
     return float(best)

@@ -24,9 +24,7 @@ __all__ = [
 ]
 
 
-def threshold_values(
-    obj_vals: np.ndarray, threshold: float, strict: bool = False
-) -> np.ndarray:
+def threshold_values(obj_vals: np.ndarray, threshold: float, strict: bool = False) -> np.ndarray:
     """Indicator objective: 1 where ``obj_vals`` clears ``threshold``, else 0.
 
     Parameters

@@ -30,9 +30,7 @@ def vertex_cover(graph: nx.Graph, x: np.ndarray) -> float:
     """Number of edges covered (touched) by the vertex subset selected by ``x``."""
     x = np.asarray(x)
     if x.shape != (graph.number_of_nodes(),):
-        raise ValueError(
-            f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)"
-        )
+        raise ValueError(f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)")
     edges = edge_array(graph)
     if edges.size == 0:
         return 0.0

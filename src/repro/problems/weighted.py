@@ -59,9 +59,7 @@ def weighted_maxcut(graph: nx.Graph, x: np.ndarray) -> float:
     """Total weight of the edges cut by the bipartition encoded in ``x``."""
     x = np.asarray(x)
     if x.shape != (graph.number_of_nodes(),):
-        raise ValueError(
-            f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)"
-        )
+        raise ValueError(f"state has {x.shape} entries, expected ({graph.number_of_nodes()},)")
     edges = edge_array(graph)
     if edges.size == 0:
         return 0.0

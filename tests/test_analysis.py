@@ -24,7 +24,7 @@ from repro.core import random_angles, simulate
 from repro.hilbert import state_matrix
 from repro.mixers import GroverMixer, transverse_field_mixer
 from repro.hilbert import FullSpace
-from repro.problems import erdos_renyi, maxcut_values
+from repro.problems import maxcut_values
 
 
 class TestMetrics:

@@ -128,9 +128,7 @@ class TestFindAngles:
     def test_initial_angles_escape_hatch(self, maxcut_setup):
         obj, mixer = maxcut_setup
         seed_angles = np.full(6, 0.3)
-        results = find_angles(
-            3, mixer, obj, initial_angles=seed_angles, n_hops=1, rng=3
-        )
+        results = find_angles(3, mixer, obj, initial_angles=seed_angles, n_hops=1, rng=3)
         assert list(results) == [3]
         assert results[3].strategy == "iterative-seeded"
 
@@ -174,7 +172,5 @@ class TestFindAngles:
 
     def test_pad_extrapolation_mode(self, maxcut_setup):
         obj, mixer = maxcut_setup
-        results = find_angles(
-            2, mixer, obj, extrapolation="pad", n_hops=1, n_starts_p1=1, rng=8
-        )
+        results = find_angles(2, mixer, obj, extrapolation="pad", n_hops=1, n_starts_p1=1, rng=8)
         assert results[2].value >= results[1].value - 1e-6

@@ -60,9 +60,7 @@ class TestRandomRestart:
 
     def test_refine_top_limits_bfgs_calls(self):
         ansatz = _ansatz()
-        summary, results = find_angles_random(
-            ansatz, iters=6, rng=2, refine_top=2, return_all=True
-        )
+        summary, results = find_angles_random(ansatz, iters=6, rng=2, refine_top=2, return_all=True)
         assert sum(entry["refined"] for entry in summary.history) == 2
         assert len(results) == 6
         assert summary.value == max(r.value for r in results)

@@ -73,9 +73,7 @@ def test_expectation_batch_matches_scalar_loop(kind, p, batch):
     rng = np.random.default_rng(100 * p + batch)
     angles = 2.0 * np.pi * rng.random((batch, 2 * p))
     batched = expectation_value_batch(angles, mixer, obj, p=p)
-    looped = np.array(
-        [expectation_value(angles[j], mixer, obj, p=p) for j in range(batch)]
-    )
+    looped = np.array([expectation_value(angles[j], mixer, obj, p=p) for j in range(batch)])
     assert batched.shape == (batch,)
     assert np.abs(batched - looped).max() <= 1e-10
 
@@ -121,14 +119,10 @@ def test_per_column_initial_states():
     inits = rng.random((mixer.dim, 3)) + 1j * rng.random((mixer.dim, 3))
     inits /= np.linalg.norm(inits, axis=0, keepdims=True)
     angles = 2.0 * np.pi * rng.random((3, 2))
-    batched = expectation_value_batch(
-        angles, mixer, obj, p=1, initial_state=inits
-    )
+    batched = expectation_value_batch(angles, mixer, obj, p=1, initial_state=inits)
     looped = np.array(
         [
-            expectation_value(
-                angles[j], mixer, obj, p=1, initial_state=inits[:, j].copy()
-            )
+            expectation_value(angles[j], mixer, obj, p=1, initial_state=inits[:, j].copy())
             for j in range(3)
         ]
     )
@@ -143,9 +137,7 @@ def test_multiangle_batched_equivalence():
     rng = np.random.default_rng(4)
     angles = 2.0 * np.pi * rng.random((6, num_angles))
     batched = expectation_value_batch(angles, mixer, obj, p=p)
-    looped = np.array(
-        [expectation_value(angles[j], mixer, obj, p=p) for j in range(6)]
-    )
+    looped = np.array([expectation_value(angles[j], mixer, obj, p=p) for j in range(6)])
     assert np.abs(batched - looped).max() <= 1e-10
 
 

@@ -40,8 +40,18 @@ def _is_unitary(mat):
 
 class TestSingleQubitGates:
     def test_all_unitary(self):
-        for gate in (identity(0), hadamard(0), pauli_x(0), pauli_y(0), pauli_z(0),
-                     phase(0, 0.7), rx(0, 0.9), ry(0, 1.1), rz(0, 0.4)):
+        gates = (
+            identity(0),
+            hadamard(0),
+            pauli_x(0),
+            pauli_y(0),
+            pauli_z(0),
+            phase(0, 0.7),
+            rx(0, 0.9),
+            ry(0, 1.1),
+            rz(0, 0.4),
+        )
+        for gate in gates:
             assert _is_unitary(gate.matrix)
             assert gate.num_qubits == 1
 
@@ -66,8 +76,15 @@ class TestSingleQubitGates:
 
 class TestTwoQubitGates:
     def test_all_unitary(self):
-        for gate in (cnot(0, 1), cz(0, 1), swap(0, 1), rzz(0, 1, 0.3),
-                     rxx(0, 1, 0.7), xy_rotation(0, 1, 0.5)):
+        gates = (
+            cnot(0, 1),
+            cz(0, 1),
+            swap(0, 1),
+            rzz(0, 1, 0.3),
+            rxx(0, 1, 0.7),
+            xy_rotation(0, 1, 0.5),
+        )
+        for gate in gates:
             assert _is_unitary(gate.matrix)
             assert gate.num_qubits == 2
 

@@ -1,0 +1,393 @@
+"""Tests for the experiment orchestration subsystem (tasks, store, runner, CLI).
+
+The sweep under test throughout is Figure 2 shrunk to ``n = 4`` / ``p = 1``
+(four tasks, deterministic rows), which keeps every scenario — including the
+interrupt/resume and sharding ones — fast enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.bench.figures import run_figure2
+from repro.cli import main
+from repro.experiments import (
+    EXPERIMENT_NAMES,
+    RowTask,
+    RunStore,
+    RunStoreError,
+    enumerate_tasks,
+    execute_task,
+    get_experiment,
+    run_experiment,
+    store_directory,
+)
+from repro.io.results import append_jsonl, read_jsonl
+
+TINY_FIG2 = {"n": 4, "p_max": 1, "n_hops": 1}
+TINY_FIG2_ARGS = ["--set", "n=4", "--set", "p_max=1", "--set", "n_hops=1"]
+
+
+def tiny_fig2_run(out_dir, **kwargs):
+    kwargs.setdefault("workers", 1)
+    return run_experiment("fig2", scale="quick", out_dir=out_dir, overrides=TINY_FIG2, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Task enumeration and execution
+# ---------------------------------------------------------------------------
+
+
+class TestTasks:
+    def test_registry_covers_every_figure(self):
+        assert EXPERIMENT_NAMES == ("fig2", "fig3", "fig4a", "fig4b", "fig5", "grover")
+        for name in EXPERIMENT_NAMES:
+            assert get_experiment(name).name == name
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="fig2"):
+            get_experiment("fig7")
+
+    def test_enumeration_is_deterministic(self):
+        for name in EXPERIMENT_NAMES:
+            first = enumerate_tasks(name)
+            second = enumerate_tasks(name)
+            assert first == second
+            ids = [t.task_id for t in first]
+            assert len(set(ids)) == len(ids)
+
+    def test_enumeration_depends_on_scale(self, monkeypatch):
+        quick = len(enumerate_tasks("fig4a"))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert len(enumerate_tasks("fig4a")) > quick
+
+    def test_fig2_task_params_round_trip(self):
+        tasks = enumerate_tasks("fig2", TINY_FIG2)
+        assert [t.task_id for t in tasks] == [
+            "case=maxcut+transverse_field",
+            "case=3sat+grover",
+            "case=densest_k_subgraph+clique",
+            "case=k_vertex_cover+ring",
+        ]
+        rows = [row for task in tasks for row in execute_task(task)]
+        assert rows == run_figure2(**TINY_FIG2)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown override"):
+            enumerate_tasks("fig2", {"bogus": 1})
+
+    def test_fig3_is_single_coupled_task(self):
+        tasks = enumerate_tasks("fig3")
+        assert len(tasks) == 1
+        assert tasks[0].task_id == "ensemble"
+
+    def test_fig4b_tasks_resolve_n(self):
+        tasks = enumerate_tasks("fig4b", {"n": 6})
+        assert all(t.params["n"] == 6 for t in tasks)
+
+
+# ---------------------------------------------------------------------------
+# Run store
+# ---------------------------------------------------------------------------
+
+
+def make_tasks(ids):
+    return [RowTask("fig2", task_id, {}) for task_id in ids]
+
+
+class TestRunStore:
+    def test_create_record_read(self, tmp_path):
+        tasks = make_tasks(["a", "b"])
+        store = RunStore.create_or_resume(
+            tmp_path / "s", experiment="fig2", scale="quick", tasks=tasks
+        )
+        store.record("b", [{"x": 2}], duration_s=0.1)
+        store.record("a", [{"x": 1}, {"x": 11}])
+        # Rows come back grouped in work-list order, not completion order.
+        assert store.rows() == [{"x": 1}, {"x": 11}, {"x": 2}]
+        assert store.is_complete()
+        assert store.status()["state"] == "complete"
+
+    def test_duplicate_task_ids_rejected(self, tmp_path):
+        with pytest.raises(RunStoreError, match="duplicate"):
+            RunStore.create_or_resume(
+                tmp_path / "s", experiment="fig2", scale="quick", tasks=make_tasks(["a", "a"])
+            )
+
+    def test_record_validates_task_id(self, tmp_path):
+        store = RunStore.create_or_resume(
+            tmp_path / "s", experiment="fig2", scale="quick", tasks=make_tasks(["a"])
+        )
+        with pytest.raises(RunStoreError, match="not in this run"):
+            store.record("zzz", [])
+        store.record("a", [{"x": 1}])
+        with pytest.raises(RunStoreError, match="already recorded"):
+            store.record("a", [{"x": 1}])
+
+    def test_resume_requires_matching_run(self, tmp_path):
+        directory = tmp_path / "s"
+        RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=make_tasks(["a"])
+        )
+        with pytest.raises(RunStoreError, match="incompatible"):
+            RunStore.create_or_resume(
+                directory, experiment="fig2", scale="paper", tasks=make_tasks(["a"])
+            )
+        with pytest.raises(RunStoreError, match="incompatible"):
+            RunStore.create_or_resume(
+                directory,
+                experiment="fig2",
+                scale="quick",
+                tasks=make_tasks(["a"]),
+                overrides={"n": 4},
+            )
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(RunStoreError, match="no run store"):
+            RunStore.open(tmp_path / "absent")
+
+    def test_orphan_rows_filtered_and_compacted(self, tmp_path):
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a", "b"])
+        store = RunStore.create_or_resume(directory, experiment="fig2", scale="quick", tasks=tasks)
+        store.record("a", [{"x": 1}])
+        # Simulate a crash after appending rows but before the manifest update.
+        append_jsonl(store.rows_path, [{"task_id": "b", "row": {"x": 2}}])
+
+        # Read-only open never mutates the store (safe concurrently with a
+        # writer) but filters the orphan rows out of the result set.
+        readonly = RunStore.open(directory)
+        assert readonly.rows() == [{"x": 1}]
+        assert len(read_jsonl(readonly.rows_path)) == 2  # file untouched
+        assert readonly.pending(tasks) == [tasks[1]]
+
+        # The writing runner compacts the orphans away on resume.
+        resumed = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks
+        )
+        assert read_jsonl(resumed.rows_path) == [{"task_id": "a", "row": {"x": 1}}]
+        assert resumed.rows() == [{"x": 1}]
+
+    def test_torn_append_does_not_corrupt_later_records(self, tmp_path):
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a", "b"])
+        store = RunStore.create_or_resume(directory, experiment="fig2", scale="quick", tasks=tasks)
+        store.record("a", [{"x": 1}])
+        # Crash tears the first (and only) line of task b's append: no
+        # complete orphan lines exist, just partial bytes without a newline.
+        with open(store.rows_path, "a", encoding="utf-8") as handle:
+            handle.write('{"task_id": "b", "row"')
+        resumed = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks
+        )
+        resumed.record("b", [{"x": 2}])
+        assert resumed.rows() == [{"x": 1}, {"x": 2}]
+        assert read_jsonl(resumed.rows_path) == [
+            {"task_id": "a", "row": {"x": 1}},
+            {"task_id": "b", "row": {"x": 2}},
+        ]
+
+    def test_tuple_overrides_resume_cleanly(self, tmp_path):
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a"])
+        RunStore.create_or_resume(
+            directory,
+            experiment="fig2",
+            scale="quick",
+            tasks=tasks,
+            overrides={"dense_qubits": (6,)},
+        )
+        # The same call again must resume, not refuse over tuple-vs-list.
+        resumed = RunStore.create_or_resume(
+            directory,
+            experiment="fig2",
+            scale="quick",
+            tasks=tasks,
+            overrides={"dense_qubits": (6,)},
+        )
+        assert resumed.manifest["overrides"] == {"dense_qubits": [6]}
+
+    def test_record_merges_foreign_manifest_updates(self, tmp_path):
+        # Two store handles on the same directory (e.g. two shard runners):
+        # completions recorded through one must survive a record() by the other.
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a", "b"])
+        first = RunStore.create_or_resume(directory, experiment="fig2", scale="quick", tasks=tasks)
+        second = RunStore.create_or_resume(directory, experiment="fig2", scale="quick", tasks=tasks)
+        first.record("a", [{"x": 1}])
+        second.record("b", [{"x": 2}])
+        merged = RunStore.open(directory)
+        assert merged.completed_ids() == {"a", "b"}
+        assert merged.rows() == [{"x": 1}, {"x": 2}]
+
+
+# ---------------------------------------------------------------------------
+# Runner: resume, equivalence, sharding
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_rows_match_direct_figure_call(self, tmp_path):
+        report = tiny_fig2_run(tmp_path / "runs")
+        assert report.executed == 4 and report.skipped == 0 and report.complete
+        store = RunStore.open(report.directory)
+        assert store.rows() == run_figure2(**TINY_FIG2)
+
+    def test_multiprocess_rows_identical(self, tmp_path):
+        report = tiny_fig2_run(tmp_path / "runs", workers=2)
+        assert RunStore.open(report.directory).rows() == run_figure2(**TINY_FIG2)
+
+    def test_interrupted_sweep_resumes_from_manifest(self, tmp_path, monkeypatch):
+        out = tmp_path / "runs"
+        real_execute = runner_mod.execute_task
+        first_attempt: list[str] = []
+
+        def crash_on_third(task):
+            if len(first_attempt) == 2:
+                raise RuntimeError("simulated crash mid-sweep")
+            first_attempt.append(task.task_id)
+            return real_execute(task)
+
+        monkeypatch.setattr(runner_mod, "execute_task", crash_on_third)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            tiny_fig2_run(out)
+
+        # Two tasks made it to disk before the crash.
+        interrupted = RunStore.open(store_directory(out, "fig2", "quick"))
+        assert interrupted.completed_ids() == set(first_attempt)
+        assert len(interrupted.completed_ids()) == 2
+        assert not interrupted.is_complete()
+
+        # Restart: only the remaining tasks run, and the final rows are
+        # byte-identical to an uninterrupted sweep.
+        second_attempt: list[str] = []
+
+        def counting(task):
+            second_attempt.append(task.task_id)
+            return real_execute(task)
+
+        monkeypatch.setattr(runner_mod, "execute_task", counting)
+        report = tiny_fig2_run(out)
+        assert report.skipped == 2 and report.executed == 2 and report.complete
+        assert set(second_attempt).isdisjoint(first_attempt)
+
+        fresh = tiny_fig2_run(tmp_path / "fresh")
+        assert (
+            RunStore.open(store_directory(out, "fig2", "quick")).rows()
+            == RunStore.open(fresh.directory).rows()
+            == run_figure2(**TINY_FIG2)
+        )
+
+    def test_static_shards_compose_into_one_store(self, tmp_path):
+        out = tmp_path / "runs"
+        first = tiny_fig2_run(out, shard=(0, 2))
+        assert first.shard_tasks == 2 and not first.complete
+        second = tiny_fig2_run(out, shard=(1, 2))
+        assert second.complete
+        store = RunStore.open(store_directory(out, "fig2", "quick"))
+        assert store.rows() == run_figure2(**TINY_FIG2)
+
+    def test_invalid_shard(self, tmp_path):
+        with pytest.raises(ValueError, match="shard"):
+            tiny_fig2_run(tmp_path / "runs", shard=(2, 2))
+
+    def test_invalid_scale(self, tmp_path):
+        with pytest.raises(ValueError, match="scale"):
+            run_experiment("fig2", scale="huge", out_dir=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_NAMES:
+            assert name in out
+
+    def test_run_status_report_cycle(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]) == 0
+        assert "4 task(s)" in capsys.readouterr().out
+
+        # Re-running resumes (everything skipped) instead of recomputing.
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]) == 0
+        assert "0 executed, 4 skipped" in capsys.readouterr().out
+
+        assert main(["status", "--out", out_dir]) == 0
+        status_out = capsys.readouterr().out
+        assert "fig2" in status_out and "complete" in status_out
+
+        json_path = tmp_path / "combined.json"
+        assert main(["report", "fig2", "--out", out_dir, "--json", str(json_path)]) == 0
+        assert "approx_ratio" in capsys.readouterr().out
+        combined = json.loads(json_path.read_text(encoding="utf-8"))
+        assert len(combined["fig2-quick"]) == 4
+
+    def test_run_rejects_mismatched_resume(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]) == 0
+        capsys.readouterr()
+        # Same store, different overrides -> refuse rather than mix rows.
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, "--set", "n=5"]) == 1
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_run_fresh_discards_existing_store(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]) == 0
+        capsys.readouterr()
+        args = ["run", "fig2", "--workers", "1", "--out", out_dir, "--fresh", *TINY_FIG2_ARGS]
+        assert main(args) == 0
+        assert "4 executed, 0 skipped" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig9"]) == 2
+        assert "fig9" in capsys.readouterr().err
+
+    def test_overrides_require_single_target(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "fig4a", "--out", str(tmp_path), "--set", "n=4"])
+
+    def test_bad_shard_syntax(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--out", str(tmp_path), "--shard", "nope"])
+
+    def test_unknown_override_key_fails_cleanly(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        assert main(["run", "fig2", "--out", out_dir, "--set", "bogus=1"]) == 1
+        assert "unknown override" in capsys.readouterr().err
+
+    def test_status_skips_corrupt_store(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        assert main(["run", "fig2", "--workers", "1", "--out", str(out_dir), *TINY_FIG2_ARGS]) == 0
+        bad = out_dir / "fig5-quick"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{ truncated", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["status", "--out", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "fig2" in captured.out  # healthy store still reported
+        assert "skipping" in captured.err and "fig5-quick" in captured.err
+
+    def test_status_empty(self, tmp_path, capsys):
+        assert main(["status", "--out", str(tmp_path / "none")]) == 0
+        assert "no run stores" in capsys.readouterr().out
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        assert main(["report", "fig2", "--out", str(tmp_path / "none")]) == 1
+        assert "no run store" in capsys.readouterr().err
+
+    def test_report_corrupt_rows_fails_cleanly(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        assert main(["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]) == 0
+        rows_path = store_directory(out_dir, "fig2", "quick") / "rows.jsonl"
+        rows_path.write_text("damaged but newline-terminated\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["report", "fig2", "--out", out_dir]) == 1
+        assert "corrupt" in capsys.readouterr().err

@@ -35,7 +35,9 @@ class TestCompressedObjective:
             CompressedObjective(values=np.array([1.0]), degeneracies=(0,), total=0)
 
     def test_basic_accessors(self):
-        spec = CompressedObjective(values=np.array([0.0, 1.0, 5.0]), degeneracies=(2, 5, 1), total=8)
+        spec = CompressedObjective(
+            values=np.array([0.0, 1.0, 5.0]), degeneracies=(2, 5, 1), total=8
+        )
         assert spec.num_distinct == 3
         assert spec.optimum == 5.0
         assert spec.optimum_degeneracy == 1
@@ -55,15 +57,15 @@ class TestCompressedObjective:
         assert np.array_equal(np.sort(vals), spec.expand())
 
     def test_expand_refuses_huge(self):
-        spec = CompressedObjective(
-            values=np.array([0.0]), degeneracies=(1 << 23,), total=1 << 23
-        )
+        spec = CompressedObjective(values=np.array([0.0]), degeneracies=(1 << 23,), total=1 << 23)
         with pytest.raises(ValueError):
             spec.expand()
 
     def test_exact_big_integer_degeneracies(self):
         big = 2**80
-        spec = CompressedObjective(values=np.array([0.0, 1.0]), degeneracies=(big, big), total=2 * big)
+        spec = CompressedObjective(
+            values=np.array([0.0, 1.0]), degeneracies=(big, big), total=2 * big
+        )
         assert spec.total == 2 * big
         assert spec.degeneracies[0] == big  # exact, not float
 

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import qaoa_finite_difference_gradient, random_angles, simulate
 from repro.grover import (

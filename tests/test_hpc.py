@@ -18,6 +18,7 @@ from repro.hpc import (
     default_workers,
     evaluate_chunk,
     parallel_compress,
+    parallel_imap_unordered,
     parallel_objective_values,
     split_dicke_space,
     split_full_space,
@@ -149,10 +150,31 @@ class TestParallelPrecompute:
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
-        monkeypatch.setenv("REPRO_WORKERS", "not a number")
-        assert default_workers() >= 1
         monkeypatch.delenv("REPRO_WORKERS")
         assert default_workers() >= 1
+
+    def test_default_workers_invalid_env_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "not a number")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert default_workers() >= 1
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelImapUnordered:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(7))
+        expected = {i: i * i for i in items}
+        assert dict(parallel_imap_unordered(_square, items, processes=1)) == expected
+        assert dict(parallel_imap_unordered(_square, items, processes=3)) == expected
+
+    def test_single_item_runs_inline(self):
+        assert list(parallel_imap_unordered(_square, [3], processes=8)) == [(0, 9)]
+
+    def test_empty(self):
+        assert list(parallel_imap_unordered(_square, [], processes=4)) == []
 
 
 class TestMemoryAccounting:

@@ -16,11 +16,14 @@ from repro.io.cache import (
     save_eigendecomposition,
 )
 from repro.io.results import (
+    append_jsonl,
     load_result_dict,
     load_rows,
+    read_jsonl,
     result_to_dict,
     save_result,
     save_rows,
+    write_json_atomic,
 )
 from repro.mixers import transverse_field_mixer
 from repro.problems import erdos_renyi, maxcut_values
@@ -131,3 +134,56 @@ class TestResultSerialization:
         path.write_text(json.dumps({"not": "a list"}))
         with pytest.raises(ValueError):
             load_rows(path)
+
+
+class TestJsonlPrimitives:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        append_jsonl(path, [{"a": 1}, {"a": 2}])
+        append_jsonl(path, [{"a": 3}])
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_read_missing_file(self, tmp_path):
+        assert read_jsonl(tmp_path / "nope.jsonl") == []
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        append_jsonl(path, [{"a": 1}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"a": 2, "trunca')  # crash mid-append
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('not json\n{"a": 1}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            read_jsonl(path)
+
+    def test_newline_terminated_corrupt_final_line_raises(self, tmp_path):
+        # A damaged final record that still ends in a newline is real
+        # corruption, not a torn append — it must not be silently dropped.
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            read_jsonl(path)
+
+    def test_append_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        append_jsonl(path, [{"a": 1}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"a": 2, "trunca')  # crash mid-append
+        append_jsonl(path, [{"a": 3}])
+        assert read_jsonl(path) == [{"a": 1}, {"a": 3}]
+
+    def test_numpy_scalars_serialized(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        append_jsonl(path, [{"x": np.float64(1.5), "n": np.int64(4)}])
+        assert read_jsonl(path) == [{"x": 1.5, "n": 4.0}]
+
+    def test_write_json_atomic(self, tmp_path):
+        path = tmp_path / "deep" / "manifest.json"
+        write_json_atomic(path, {"k": [1, 2]})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"k": [1, 2]}
+        write_json_atomic(path, {"k": [3]})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"k": [3]}
+        assert list(path.parent.iterdir()) == [path]  # no stray temp files

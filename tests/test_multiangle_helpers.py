@@ -62,9 +62,7 @@ class TestMultiAngleReducesToStandard:
 
         flat = pack_angles([[b] * n for b in shared_betas], gammas)
         multi = simulate(flat, schedule, obj)
-        standard = simulate(
-            np.concatenate([shared_betas, gammas]), transverse_field_mixer(n), obj
-        )
+        standard = simulate(np.concatenate([shared_betas, gammas]), transverse_field_mixer(n), obj)
         assert np.allclose(multi.statevector, standard.statevector, atol=1e-10)
         assert np.isclose(multi.expectation(), standard.expectation())
 

@@ -84,9 +84,7 @@ class TestPrecomputeCostFunction:
     def test_dicke_space_evaluation(self, small_graph):
         from repro.problems import densest_subgraph
 
-        cost = precompute_cost(
-            lambda x: densest_subgraph(small_graph, x), space=DickeSpace(6, 3)
-        )
+        cost = precompute_cost(lambda x: densest_subgraph(small_graph, x), space=DickeSpace(6, 3))
         assert cost.dim == 20
 
     def test_callable_without_space_or_n_rejected(self):

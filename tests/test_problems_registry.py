@@ -67,9 +67,7 @@ class TestMakeProblem:
             bits = problem.space.bits
             sample = [0, len(bits) // 2, len(bits) - 1]
             for idx in sample:
-                assert problem.cost(bits[idx]) == pytest.approx(
-                    problem.objective_values()[idx]
-                )
+                assert problem.cost(bits[idx]) == pytest.approx(problem.objective_values()[idx])
 
     def test_ksat_metadata(self):
         problem = make_problem("ksat", 6, seed=0, clause_density=4.0, sat_k=2)

@@ -8,7 +8,7 @@ import pytest
 from repro.core import random_angles, simulate
 from repro.hilbert import state_matrix
 from repro.mixers import transverse_field_mixer
-from repro.problems import erdos_renyi, graph_from_edges, maxcut_values
+from repro.problems import graph_from_edges, maxcut_values
 from repro.problems.weighted import (
     edge_weights,
     random_weighted_graph,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import repro
 from repro import (
@@ -136,7 +135,5 @@ class TestEndToEndWorkflows:
 
         ansatz = QAOAAnsatz(problem.objective_values(), mixer_ring(6, 3), 2)
         angles = ansatz.random_angles(0)
-        assert np.isclose(
-            ansatz.expectation(angles), ansatz.simulate(angles).expectation()
-        )
+        assert np.isclose(ansatz.expectation(angles), ansatz.simulate(angles).expectation())
         assert problem.space.dim == ansatz.schedule.dim

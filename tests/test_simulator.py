@@ -18,7 +18,7 @@ from repro.core import (
     split_angles,
 )
 from repro.core.simulator import evolve_state
-from repro.hilbert import DickeSpace, FullSpace, state_matrix
+from repro.hilbert import FullSpace, state_matrix
 from repro.mixers import MixerSchedule, transverse_field_mixer
 from repro.mixers.grover import grover_mixer
 from repro.problems import erdos_renyi, maxcut_values
@@ -142,9 +142,7 @@ class TestResultQueries:
 
     def test_approximation_ratio(self, maxcut_obj, tf_mixer_6):
         res = simulate(random_angles(2, rng=10), tf_mixer_6, maxcut_obj)
-        assert np.isclose(
-            res.approximation_ratio(), res.expectation() / maxcut_obj.max()
-        )
+        assert np.isclose(res.approximation_ratio(), res.expectation() / maxcut_obj.max())
 
     def test_sampling_distribution(self, maxcut_obj, tf_mixer_6):
         res = simulate(random_angles(2, rng=11), tf_mixer_6, maxcut_obj)
@@ -183,20 +181,26 @@ class TestEvolveStateValidation:
     def test_wrong_gamma_count(self, maxcut_obj, tf_mixer_6):
         schedule = MixerSchedule(tf_mixer_6, rounds=2)
         with pytest.raises(ValueError):
-            evolve_state([np.array([0.1])] * 2, np.array([0.1]), schedule, maxcut_obj,
-                         tf_mixer_6.initial_state())
+            evolve_state(
+                [np.array([0.1])] * 2, np.array([0.1]), schedule, maxcut_obj,
+                tf_mixer_6.initial_state(),
+            )
 
     def test_wrong_beta_count(self, maxcut_obj, tf_mixer_6):
         schedule = MixerSchedule(tf_mixer_6, rounds=2)
         with pytest.raises(ValueError):
-            evolve_state([np.array([0.1])], np.array([0.1, 0.2]), schedule, maxcut_obj,
-                         tf_mixer_6.initial_state())
+            evolve_state(
+                [np.array([0.1])], np.array([0.1, 0.2]), schedule, maxcut_obj,
+                tf_mixer_6.initial_state(),
+            )
 
     def test_wrong_cost_shape(self, tf_mixer_6):
         schedule = MixerSchedule(tf_mixer_6, rounds=1)
         with pytest.raises(ValueError):
-            evolve_state([np.array([0.1])], np.array([0.1]), schedule, np.zeros(10),
-                         tf_mixer_6.initial_state())
+            evolve_state(
+                [np.array([0.1])], np.array([0.1]), schedule, np.zeros(10),
+                tf_mixer_6.initial_state(),
+            )
 
 
 @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=10**6))

@@ -104,9 +104,7 @@ class TestUnconstrainedAgainstDense:
         obj = maxcut_values(graph6, state_matrix(6))
         warm = rng.normal(size=64) + 1j * rng.normal(size=64)
         warm /= np.linalg.norm(warm)
-        _check_against_dense(
-            transverse_field_mixer(6), obj, angles3, dense_reference, initial=warm
-        )
+        _check_against_dense(transverse_field_mixer(6), obj, angles3, dense_reference, initial=warm)
 
 
 class TestConstrainedAgainstDense:

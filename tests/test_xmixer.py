@@ -8,7 +8,7 @@ import scipy.linalg as sla
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hilbert import FullSpace, uniform_superposition
+from repro.hilbert import uniform_superposition
 from repro.mixers.xmixer import (
     MultiAngleXMixer,
     XMixer,
@@ -52,9 +52,7 @@ class TestWalshHadamard:
 
     def test_unitarity(self, rng):
         psi = rng.normal(size=128) + 1j * rng.normal(size=128)
-        assert np.isclose(
-            np.linalg.norm(walsh_hadamard_transform(psi)), np.linalg.norm(psi)
-        )
+        assert np.isclose(np.linalg.norm(walsh_hadamard_transform(psi)), np.linalg.norm(psi))
 
     def test_zero_state_maps_to_uniform(self):
         psi = np.zeros(32, dtype=complex)
@@ -197,9 +195,7 @@ class TestMultiAngleXMixer:
         mixer_plain = transverse_field_mixer(n)
         psi = rng.normal(size=16) + 1j * rng.normal(size=16)
         beta = 0.42
-        assert np.allclose(
-            mixer_ma.apply(psi, np.full(n, beta)), mixer_plain.apply(psi, beta)
-        )
+        assert np.allclose(mixer_ma.apply(psi, np.full(n, beta)), mixer_plain.apply(psi, beta))
         # Scalar broadcast also works.
         assert np.allclose(mixer_ma.apply(psi, beta), mixer_plain.apply(psi, beta))
 
@@ -214,9 +210,7 @@ class TestMultiAngleXMixer:
         mixer = MultiAngleXMixer(n, terms)
         psi = rng.normal(size=8) + 1j * rng.normal(size=8)
         for t, term in enumerate(terms):
-            assert np.allclose(
-                mixer.apply_hamiltonian_term(psi, t), _kron_x_term(term, n) @ psi
-            )
+            assert np.allclose(mixer.apply_hamiltonian_term(psi, t), _kron_x_term(term, n) @ psi)
         assert np.allclose(mixer.apply_hamiltonian(psi), mixer.matrix() @ psi)
 
     def test_num_angles(self):

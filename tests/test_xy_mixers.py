@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 import scipy.linalg as sla
 
-from repro.hilbert import DickeSpace, dicke_labels, hamming_weights
+from repro.hilbert import dicke_labels, hamming_weights
 from repro.mixers.xy import (
     CliqueMixer,
     RingMixer,
@@ -81,9 +81,7 @@ class TestCliqueMixer:
         psi = rng.normal(size=20) + 1j * rng.normal(size=20)
         psi /= np.linalg.norm(psi)
         beta = 0.37
-        assert np.allclose(
-            clique_mixer_63.apply(psi, beta), sla.expm(-1j * beta * dense) @ psi
-        )
+        assert np.allclose(clique_mixer_63.apply(psi, beta), sla.expm(-1j * beta * dense) @ psi)
 
     def test_hamiltonian_matches_subspace_matrix(self, rng, clique_mixer_63):
         psi = rng.normal(size=20) + 1j * rng.normal(size=20)
@@ -119,9 +117,7 @@ class TestRingMixer:
         dense = ring_mixer_63.matrix()
         psi = rng.normal(size=20) + 1j * rng.normal(size=20)
         psi /= np.linalg.norm(psi)
-        assert np.allclose(
-            ring_mixer_63.apply(psi, 0.93), sla.expm(-1j * 0.93 * dense) @ psi
-        )
+        assert np.allclose(ring_mixer_63.apply(psi, 0.93), sla.expm(-1j * 0.93 * dense) @ psi)
 
     def test_needs_two_qubits(self):
         with pytest.raises(ValueError):
