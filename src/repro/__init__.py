@@ -36,6 +36,7 @@ from .core import (
     qaoa_finite_difference_gradient,
     qaoa_gradient,
     qaoa_value_and_gradient,
+    qaoa_value_and_gradient_batch,
     random_angles,
     simulate,
     simulate_batch,
@@ -93,6 +94,7 @@ __all__ = [
     "qaoa_finite_difference_gradient",
     "qaoa_gradient",
     "qaoa_value_and_gradient",
+    "qaoa_value_and_gradient_batch",
     "random_angles",
     "simulate",
     "simulate_batch",

@@ -6,6 +6,7 @@ from .checkpoint import AngleCheckpoint
 from .grid import grid_axis, grid_search
 from .iterative import extrapolate_angles, find_angles, fourier_extrapolate
 from .median import evaluate_median_angles, median_angle_study, median_angles
+from .multistart import MultiStartResult, default_refine_batch, multistart_minimize
 from .random_restart import find_angles_random
 from .result import AngleResult
 
@@ -23,6 +24,9 @@ __all__ = [
     "evaluate_median_angles",
     "median_angle_study",
     "median_angles",
+    "MultiStartResult",
+    "default_refine_batch",
+    "multistart_minimize",
     "find_angles_random",
     "AngleResult",
 ]

@@ -20,6 +20,7 @@ from itertools import islice, product
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
+from ..core.workspace import default_eval_batch
 from .result import AngleResult
 
 __all__ = ["grid_search", "grid_axis"]
@@ -57,7 +58,7 @@ def grid_search(
     same point the scalar one-at-a-time loop returned.
     """
     if batch_size is None:
-        batch_size = max(1, min(256, (1 << 22) // ansatz.schedule.dim))
+        batch_size = default_eval_batch(ansatz.schedule.dim)
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     num_angles = ansatz.num_angles

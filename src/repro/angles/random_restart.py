@@ -6,12 +6,16 @@ uniformly in ``[0, 2 pi)^{2p}``, run BFGS to the nearest local optimum, repeat
 is also what the paper's Listing 3 implements as ``find_angles_rand`` to show
 how user-defined strategies plug in.
 
-All restart seeds are drawn up front and scored in one batched evaluation
-(:meth:`~repro.core.ansatz.QAOAAnsatz.expectation_batch`) before any local
-refinement starts.  By default every seed is still refined, exactly like the
-reference strategy; ``refine_top`` optionally restricts BFGS to the
-best-scoring seeds, which keeps most of the quality of a full sweep at a
-fraction of the gradient-descent cost.
+Two batched fast paths keep the sweep on BLAS-3 kernels:
+
+* with the default ``gradient="adjoint"`` every refinement runs through the
+  vectorized multi-start engine (:mod:`repro.angles.multistart`), advancing
+  all restarts in lock-step on the batched value-and-gradient kernel instead
+  of looping scipy BFGS per seed (pass ``vectorized=False`` to opt out);
+* when ``refine_top`` prunes the restart pool, the seeds are batch-scored
+  first — in bounded chunks, like ``grid_search`` — and only the most
+  promising ones are refined.  With the default ``refine_top=None`` every
+  seed is refined anyway, so the scoring pass is skipped entirely.
 """
 
 from __future__ import annotations
@@ -19,10 +23,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
+from ..core.workspace import default_eval_batch
 from .bfgs import GradientMode, local_minimize
+from .multistart import multistart_minimize
 from .result import AngleResult
 
 __all__ = ["find_angles_random"]
+
+
+def _score_seeds(
+    ansatz: QAOAAnsatz, seeds: np.ndarray, batch_size: int | None
+) -> np.ndarray:
+    """Batch-score all seeds in bounded chunks (peak scratch ~3*dim*chunk)."""
+    if batch_size is None:
+        batch_size = default_eval_batch(ansatz.schedule.dim)
+    if batch_size < 1:
+        raise ValueError("score_batch_size must be positive")
+    total = seeds.shape[0]
+    values = np.empty(total, dtype=np.float64)
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        values[start:stop] = ansatz.expectation_batch(seeds[start:stop])
+    return values
 
 
 def find_angles_random(
@@ -34,41 +56,80 @@ def find_angles_random(
     rng: np.random.Generator | int | None = None,
     return_all: bool = False,
     refine_top: int | None = None,
+    vectorized: bool | None = None,
+    score_batch_size: int | None = None,
 ) -> AngleResult | tuple[AngleResult, list[AngleResult]]:
     """Best of ``iters`` independent random-start BFGS local searches.
 
-    The ``iters`` seeds are batch-scored first; ``refine_top`` (default: all
-    of them) then bounds how many of the best-scoring seeds get a BFGS
-    refinement.  With ``return_all=True`` the per-restart results are also
-    returned, which the median-angles strategy and Figure 3 consume;
-    unrefined seeds appear as their batch-scored values.
+    ``refine_top`` (default: all of them) bounds how many of the best-scoring
+    seeds get a BFGS refinement; only then are the seeds batch-scored (in
+    chunks of ``score_batch_size``, default bounded at 256 columns, capping
+    each of the workspace's three scratch buffers at ~64 MB).
+    ``vectorized`` selects the lock-step multi-start refiner
+    (default: on for the ``"adjoint"`` gradient mode, unavailable for
+    ``"finite"``/``"numeric"``, which keep the per-seed scipy loop).  With
+    ``return_all=True`` the per-restart results are also returned, which the
+    median-angles strategy and Figure 3 consume; unrefined seeds appear as
+    their batch-scored values, and each history entry's ``seed_value`` is
+    ``None`` when the scoring pass was skipped.
     """
     if iters < 1:
         raise ValueError("at least one restart is required")
-    if refine_top is None:
-        refine_top = iters
-    if not 1 <= refine_top <= iters:
+    if refine_top is not None and not 1 <= refine_top <= iters:
         raise ValueError(f"refine_top must be in [1, {iters}], got {refine_top}")
+    if vectorized is None:
+        vectorized = gradient == "adjoint"
+    elif vectorized and gradient != "adjoint":
+        raise ValueError(
+            f"vectorized refinement requires gradient='adjoint', got {gradient!r}"
+        )
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
 
     seeds = 2.0 * np.pi * rng.random((iters, ansatz.num_angles))
-    seed_values = ansatz.expectation_batch(seeds)
-    evaluations = iters
-    if refine_top < iters:
+    evaluations = 0
+    prune = refine_top is not None and refine_top < iters
+    if prune:
+        seed_values = _score_seeds(ansatz, seeds, score_batch_size)
+        evaluations += iters
         order = np.argsort(seed_values)
         if ansatz.maximize:
             order = order[::-1]
         refine = set(int(i) for i in order[:refine_top])
     else:
+        # Every seed gets refined, so scoring would be pure overhead.
+        seed_values = None
         refine = set(range(iters))
+
+    refined: dict[int, AngleResult] = {}
+    if vectorized:
+        refine_order = sorted(refine)
+        report = multistart_minimize(ansatz, seeds[refine_order], maxiter=maxiter)
+        evaluations += report.evaluations
+        for pos, i in enumerate(refine_order):
+            refined[i] = AngleResult(
+                angles=report.angles[pos],
+                value=float(report.values[pos]),
+                p=ansatz.p,
+                evaluations=int(report.column_evaluations[pos]),
+                strategy="bfgs-adjoint-batched",
+                history=[
+                    {
+                        "converged": bool(report.converged[pos]),
+                        "iterations": int(report.iterations[pos]),
+                    }
+                ],
+            )
+    else:
+        for i in sorted(refine):
+            refined[i] = local_minimize(ansatz, seeds[i], gradient=gradient, maxiter=maxiter)
+            evaluations += refined[i].evaluations
 
     best: AngleResult | None = None
     all_results: list[AngleResult] = []
     for i in range(iters):
         if i in refine:
-            result = local_minimize(ansatz, seeds[i], gradient=gradient, maxiter=maxiter)
-            evaluations += result.evaluations
+            result = refined[i]
         else:
             result = AngleResult(
                 angles=seeds[i].copy(),
@@ -81,7 +142,16 @@ def find_angles_random(
         if best is None:
             best = result
         else:
-            better = result.value > best.value if ansatz.maximize else result.value < best.value
+            # First-best-wins with an fp-noise guard: symmetry-equivalent
+            # optima agree only to round-off, and which copy computes a few
+            # ulps higher depends on the refinement backend — resolve such
+            # near-ties to the earliest restart so the winner (and anything
+            # downstream, like median-angle studies) is backend-stable.
+            tol = 1e-10 * (1.0 + abs(best.value))
+            if ansatz.maximize:
+                better = result.value > best.value + tol
+            else:
+                better = result.value < best.value - tol
             if better:
                 best = result
 
@@ -96,7 +166,7 @@ def find_angles_random(
             {
                 "restart": i,
                 "value": r.value,
-                "seed_value": float(seed_values[i]),
+                "seed_value": None if seed_values is None else float(seed_values[i]),
                 "refined": i in refine,
             }
             for i, r in enumerate(all_results)

@@ -190,7 +190,10 @@ def run_figure3(
     Strategies (as in Fig. 3): iterative extrapolated basinhopping, random
     local-minima exploration (best of ``random_iters`` BFGS restarts per
     instance and round), and median angles (medians of the random-restart
-    results across instances, evaluated per instance).
+    results across instances, evaluated per instance).  The random-restart
+    refinement runs through the vectorized multi-start engine (all restarts
+    advanced in lock-step on the batched adjoint kernel), which is where the
+    bulk of this figure's wall-clock goes.
     """
     if p_max is None:
         p_max = 10 if is_paper_scale() else 3

@@ -7,6 +7,7 @@ from .gradients import (
     qaoa_finite_difference_gradient,
     qaoa_gradient,
     qaoa_value_and_gradient,
+    qaoa_value_and_gradient_batch,
 )
 from .multiangle import multi_angle_schedule, num_multi_angles, pack_angles, unpack_angles
 from .precompute import PrecomputedCost, precompute_cost
@@ -32,6 +33,7 @@ __all__ = [
     "qaoa_finite_difference_gradient",
     "qaoa_gradient",
     "qaoa_value_and_gradient",
+    "qaoa_value_and_gradient_batch",
     "multi_angle_schedule",
     "num_multi_angles",
     "pack_angles",

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..mixers.base import Mixer
 from ..mixers.schedules import MixerSchedule
-from .gradients import EvaluationCounter, qaoa_finite_difference_gradient, qaoa_value_and_gradient
+from .gradients import (
+    EvaluationCounter,
+    qaoa_finite_difference_gradient,
+    qaoa_value_and_gradient,
+    qaoa_value_and_gradient_batch,
+)
 from .precompute import PrecomputedCost
 from .simulator import QAOAResult, expectation_value, expectation_value_batch, simulate
 from .workspace import BatchedWorkspace, Workspace
@@ -130,6 +135,13 @@ class QAOAAnsatz:
             workspace=self.workspace,
         )
 
+    def _ensure_batched_workspace(self, batch: int) -> BatchedWorkspace:
+        if self._batched_workspace is None:
+            self._batched_workspace = BatchedWorkspace(self.schedule.dim, batch)
+        else:
+            self._batched_workspace.ensure(batch)
+        return self._batched_workspace
+
     def expectation_batch(self, angles: np.ndarray) -> np.ndarray:
         """``<C>`` for every row of an ``(M, num_angles)`` angle matrix.
 
@@ -141,18 +153,14 @@ class QAOAAnsatz:
         angles = np.asarray(angles, dtype=np.float64)
         if angles.ndim == 1:
             angles = angles[None, :]
-        batch = angles.shape[0]
-        if self._batched_workspace is None:
-            self._batched_workspace = BatchedWorkspace(self.schedule.dim, batch)
-        else:
-            self._batched_workspace.ensure(batch)
-        self.counter.forward_passes += batch
+        workspace = self._ensure_batched_workspace(angles.shape[0])
+        self.counter.forward_passes += angles.shape[0]
         return expectation_value_batch(
             angles,
             self.schedule,
             self.cost,
             initial_state=self.initial_state,
-            workspace=self._batched_workspace,
+            workspace=workspace,
         )
 
     def value_and_gradient(self, angles: np.ndarray) -> tuple[float, np.ndarray]:
@@ -165,6 +173,36 @@ class QAOAAnsatz:
             workspace=self.workspace,
             counter=self.counter,
         )
+
+    def value_and_gradient_batch(self, angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expectation values and exact adjoint gradients for M angle sets at once.
+
+        ``angles`` is an ``(M, num_angles)`` matrix of flat angle vectors (a
+        single flat vector is treated as one row).  One batched forward pass
+        plus one batched adjoint backward pass produce ``(M,)`` values and
+        ``(M, num_angles)`` gradients through the shared
+        :class:`BatchedWorkspace` — the kernel the vectorized multi-start
+        refiner advances all its restarts with.
+        """
+        angles = np.asarray(angles, dtype=np.float64)
+        if angles.ndim == 1:
+            angles = angles[None, :]
+        workspace = self._ensure_batched_workspace(angles.shape[0])
+        return qaoa_value_and_gradient_batch(
+            angles,
+            self.schedule,
+            self.cost,
+            initial_state=self.initial_state,
+            workspace=workspace,
+            counter=self.counter,
+        )
+
+    def loss_and_gradient_batch(self, angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched loss and gradient (signs consistent with :meth:`loss`)."""
+        values, grads = self.value_and_gradient_batch(angles)
+        if self.maximize:
+            return -values, -grads
+        return values, grads
 
     def gradient(self, angles: np.ndarray) -> np.ndarray:
         """Exact adjoint-mode gradient of ``<C>``."""

@@ -200,6 +200,46 @@ class QAOAResult:
 # evolution
 # ---------------------------------------------------------------------------
 
+class _CostPhaseFactors:
+    """Per-round separator phase factors ``exp(sign * i * gamma_j * cost)``.
+
+    Objective values usually take few distinct levels (integer-valued costs),
+    so each round's factors are an exp over ``(levels, M)`` plus a gather
+    rather than an exp over the full ``(dim, M)`` matrix.  One instance is
+    built per evolution (forward pass uses ``sign=-1``, the adjoint backward
+    pass ``sign=+1``) so the forward and backward paths share one
+    implementation of the table heuristic.
+    """
+
+    def __init__(
+        self,
+        cost_values: np.ndarray,
+        cost_levels: tuple[np.ndarray, np.ndarray],
+        batch: int,
+        sign: float,
+    ):
+        self.levels, self.inverse = cost_levels
+        self.sign_i = sign * 1j
+        self.use_table = self.levels.size * 4 <= cost_values.size
+        self.table = (
+            np.empty((self.levels.size, batch), dtype=np.complex128)
+            if self.use_table
+            else None
+        )
+        self.signed_i_cost = None if self.use_table else cost_values * self.sign_i
+
+    def fill(self, gamma_k: np.ndarray, phases: np.ndarray) -> np.ndarray:
+        """Write this round's ``(dim, M)`` phase factors into ``phases``."""
+        if self.use_table:
+            np.multiply(self.levels[:, None], self.sign_i * gamma_k[None, :], out=self.table)
+            np.exp(self.table, out=self.table)
+            np.take(self.table, self.inverse, axis=0, out=phases)
+        else:
+            np.multiply(self.signed_i_cost[:, None], gamma_k[None, :], out=phases)
+            np.exp(phases, out=phases)
+        return phases
+
+
 def _as_schedule(mixer: Mixer | Sequence[Mixer] | MixerSchedule, p: int) -> MixerSchedule:
     if isinstance(mixer, MixerSchedule):
         return mixer
@@ -272,6 +312,7 @@ def evolve_state_batch(
     *,
     workspace: BatchedWorkspace | None = None,
     cost_levels: tuple[np.ndarray, np.ndarray] | None = None,
+    layer_store: np.ndarray | None = None,
 ) -> np.ndarray:
     """Apply ``p`` QAOA rounds to M statevectors simultaneously.
 
@@ -286,9 +327,12 @@ def evolve_state_batch(
     or a ``(dim, M)`` matrix of per-column starts.  ``cost_levels`` optionally
     supplies the pre-computed ``(distinct values, inverse indices)`` pair of
     ``cost_values`` (see :meth:`PrecomputedCost.phase_levels`) so repeated
-    sweep chunks skip the per-call ``np.unique``.  The returned ``(dim, M)``
-    array is a view into the workspace's state buffer — copy it to keep it
-    across calls.
+    sweep chunks skip the per-call ``np.unique``.  If ``layer_store`` (shape
+    ``(p, 2, dim, M)``, see :meth:`BatchedWorkspace.ensure_layers`) is given,
+    the batch after each phase separator and after each mixer is recorded —
+    this is what the batched adjoint gradient consumes.  The returned
+    ``(dim, M)`` array is a view into the workspace's state buffer — copy it
+    to keep it across calls.
     """
     gammas = np.asarray(gammas, dtype=np.float64)
     if gammas.ndim != 2 or gammas.shape[0] != schedule.p:
@@ -319,26 +363,17 @@ def evolve_state_batch(
 
     psi = workspace.load_states(np.asarray(initial_state, dtype=np.complex128), batch)
     phases = workspace.phase(batch)
-    # Objective values usually take few distinct levels (integer-valued
-    # costs), so the per-round separator phases are an exp over (levels, M)
-    # plus a gather rather than an exp over the full (dim, M) matrix.
     if cost_levels is None:
         cost_levels = np.unique(cost_values, return_inverse=True)
-    levels, inverse = cost_levels
-    use_table = levels.size * 4 <= dim
-    table = np.empty((levels.size, batch), dtype=np.complex128) if use_table else None
-    neg_i_cost = None if use_table else cost_values * (-1j)
-    for mixer, beta_k, gamma_k in zip(schedule, beta_rounds, gammas):
-        if use_table:
-            np.multiply(levels[:, None], -1j * gamma_k[None, :], out=table)
-            np.exp(table, out=table)
-            np.take(table, inverse, axis=0, out=phases)
-        else:
-            np.multiply(neg_i_cost[:, None], gamma_k[None, :], out=phases)
-            np.exp(phases, out=phases)
-        psi *= phases
+    phase_factors = _CostPhaseFactors(cost_values, cost_levels, batch, sign=-1.0)
+    for round_index, (mixer, beta_k, gamma_k) in enumerate(zip(schedule, beta_rounds, gammas)):
+        psi *= phase_factors.fill(gamma_k, phases)
+        if layer_store is not None:
+            layer_store[round_index, 0] = psi
         beta_arg = beta_k[0] if beta_k.shape[0] == 1 else beta_k
         mixer.apply_batch(psi, beta_arg, out=psi, workspace=workspace)
+        if layer_store is not None:
+            layer_store[round_index, 1] = psi
     return psi
 
 

@@ -19,7 +19,20 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Workspace", "BatchedWorkspace"]
+__all__ = ["Workspace", "BatchedWorkspace", "default_eval_batch"]
+
+
+def default_eval_batch(dim: int, *, budget_elems: int = 1 << 22) -> int:
+    """Largest evaluation batch whose ``(dim, M)`` workspace buffers each stay
+    under ``budget_elems`` complex128 elements (~64 MB at the default budget),
+    capped at 256 columns.
+
+    The shared chunking policy of the batched sweep consumers (grid search,
+    random-restart seed scoring): large-``n`` sweeps never exceed the scalar
+    loop's memory footprint by much, while small spaces still amortize the
+    per-chunk Python overhead over hundreds of columns.
+    """
+    return max(1, min(256, budget_elems // max(1, dim)))
 
 
 class Workspace:
@@ -94,6 +107,12 @@ class BatchedWorkspace:
         self._state: np.ndarray | None = None
         self._scratch: np.ndarray | None = None
         self._phase: np.ndarray | None = None
+        # Gradient-only buffers, allocated lazily so pure-evaluation sweeps
+        # never pay for them: the (layers, 2, dim, M) forward-layer store and
+        # the auxiliary (dim, M) matrix the adjoint backward pass uses for
+        # Hamiltonian products.
+        self._layer_flat: np.ndarray | None = None
+        self._aux_flat: np.ndarray | None = None
         #: number of batched simulator calls served (for tests/benchmarks)
         self.calls_served = 0
         self.ensure(batch)
@@ -139,6 +158,38 @@ class BatchedWorkspace:
         """A ``(dim, batch)`` buffer for elementwise phase factors."""
         self.ensure(batch)
         return self._view(self._phase, batch)
+
+    def aux(self, batch: int) -> np.ndarray:
+        """An extra ``(dim, batch)`` scratch matrix (adjoint-pass Hamiltonian
+        products), allocated on first use and grown like the core buffers."""
+        if batch < 1:
+            raise ValueError("batch size must be positive")
+        size = self.dim * batch
+        if self._aux_flat is None or self._aux_flat.size < size:
+            self._aux_flat = np.empty(
+                max(size, self.dim * self._capacity), dtype=np.complex128
+            )
+        return self._aux_flat[:size].reshape(self.dim, batch)
+
+    def ensure_layers(self, layers: int, batch: int) -> np.ndarray:
+        """Return a ``(layers, 2, dim, batch)`` buffer for per-layer forward states.
+
+        The batched analogue of :meth:`Workspace.ensure_layers`: slot
+        ``[k, 0]`` stores the batch after the phase separator of round ``k``
+        and slot ``[k, 1]`` the batch after the mixer — both consumed by the
+        batched adjoint gradient.  The backing allocation is flat and grown
+        (never shrunk) on demand; the returned prefix view is C-contiguous,
+        and its ``(dim, batch)`` slices satisfy the contiguity requirement of
+        the batched mixer kernels.
+        """
+        if layers < 0:
+            raise ValueError("layer count must be non-negative")
+        if batch < 1:
+            raise ValueError("batch size must be positive")
+        size = layers * 2 * self.dim * batch
+        if self._layer_flat is None or self._layer_flat.size < size:
+            self._layer_flat = np.empty(size, dtype=np.complex128)
+        return self._layer_flat[:size].reshape(layers, 2, self.dim, batch)
 
     def load_states(self, psi: np.ndarray, batch: int) -> np.ndarray:
         """Fill the state buffer with ``psi`` and return the ``(dim, batch)`` view.

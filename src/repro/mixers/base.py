@@ -118,6 +118,46 @@ class Mixer(abc.ABC):
             out[:, j] = result
         return out
 
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Return ``H_M |psi_j>`` for every column ``j`` of the ``(dim, M)`` batch.
+
+        The batched analogue of :meth:`apply_hamiltonian` and the contract the
+        batched adjoint-gradient engine relies on: one call produces the
+        mixer-Hamiltonian product for all M statevectors at once, so each
+        backward-pass round costs one batched kernel instead of M mat-vecs.
+        ``out`` may alias ``Psi``; ``workspace`` optionally supplies
+        pre-allocated scratch (a
+        :class:`~repro.core.workspace.BatchedWorkspace` of matching
+        dimension) so repeated calls allocate nothing.  ``Psi`` is never
+        modified unless it aliases ``out``.
+
+        This base implementation loops over columns through
+        :meth:`apply_hamiltonian`; concrete mixers override it with the same
+        BLAS-3 / fully vectorized kernels as their :meth:`apply_batch`.
+        """
+        Psi = np.asarray(Psi)
+        if Psi.ndim != 2 or Psi.shape[0] != self.dim:
+            raise ValueError(
+                f"batched statevectors have shape {Psi.shape}, expected "
+                f"({self.dim}, M) for {self!r}"
+            )
+        M = Psi.shape[1]
+        if out is None:
+            out = np.empty((self.dim, M), dtype=np.complex128)
+        column = np.empty(self.dim, dtype=np.complex128)
+        result = np.empty(self.dim, dtype=np.complex128)
+        for j in range(M):
+            column[:] = Psi[:, j]
+            self.apply_hamiltonian(column, out=result)
+            out[:, j] = result
+        return out
+
     def _check_batch(
         self, Psi: np.ndarray, out: np.ndarray | None
     ) -> tuple[np.ndarray, np.ndarray, int]:
@@ -321,6 +361,24 @@ class DiagonalizedMixer(Mixer):
             np.multiply(self.eigenvalues[:, None], -1j * betas[None, :], out=phases)
             np.exp(phases, out=phases)
             coeffs *= phases
+        self._basis_change(self._V, coeffs, out)
+        return out
+
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched ``H_M`` product: two GEMMs around an eigenvalue multiply."""
+        Psi, out, M = self._check_batch(Psi, out)
+        if workspace is not None:
+            coeffs = workspace.scratch(M)
+        else:
+            coeffs = np.empty((self.dim, M), dtype=np.complex128)
+        self._basis_change(self._Vdag, Psi, coeffs)
+        coeffs *= self.eigenvalues[:, None]
         self._basis_change(self._V, coeffs, out)
         return out
 

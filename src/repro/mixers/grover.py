@@ -95,6 +95,19 @@ class GroverMixer(Mixer):
         out[:] = result
         return out
 
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched rank-one product: one GEMV of overlaps, one outer product."""
+        Psi, out, M = self._check_batch(Psi, out)
+        overlaps = self._psi0_conj @ Psi
+        np.multiply(self.psi0[:, None], overlaps[None, :], out=out)
+        return out
+
     def matrix(self) -> np.ndarray:
         return np.outer(self.psi0, self.psi0.conj())
 

@@ -130,6 +130,32 @@ def walsh_hadamard_gemm(
     return dst
 
 
+def _wht_diagonal_product(
+    mixer: "Mixer",
+    diagonal: np.ndarray,
+    Psi: np.ndarray,
+    out: np.ndarray | None,
+    workspace,
+    hadamard_pair: tuple[np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Batched ``H^{⊗n} diag(d) H^{⊗n} Psi`` via two GEMM-based WHTs.
+
+    The shared kernel behind every products-of-X ``apply_hamiltonian_batch``:
+    both transform normalizations are folded into the diagonal, so the product
+    costs four real GEMMs plus one elementwise pass for all M columns.
+    """
+    Psi, out, M = mixer._check_batch(Psi, out)
+    if workspace is not None:
+        scratch = workspace.scratch(M)
+    else:
+        scratch = np.empty((mixer.dim, M), dtype=np.complex128)
+    h_hi, h_lo = hadamard_pair
+    walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+    out *= (diagonal * (1.0 / mixer.dim))[:, None]
+    walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
+    return out
+
+
 def x_term_diagonal(
     terms: Sequence[Sequence[int]], coefficients: Sequence[float], n: int
 ) -> np.ndarray:
@@ -258,6 +284,18 @@ class XMixer(Mixer):
         walsh_hadamard_transform(scratch, out=out)
         return out
 
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched ``H_M`` product (see :func:`_wht_diagonal_product`)."""
+        return _wht_diagonal_product(
+            self, self.diagonal, Psi, out, workspace, self._hadamard_pair
+        )
+
     def matrix(self) -> np.ndarray:
         dim = self.dim
         # H^{⊗n} diag(d) H^{⊗n}, built column by column (test/inspection use only).
@@ -321,6 +359,7 @@ class MultiAngleXMixer(Mixer):
             raise ValueError("a multi-angle X mixer needs at least one term")
         self.terms = terms
         self.term_diagonals = np.stack([x_term_diagonal([t], [1.0], n) for t in terms], axis=0)
+        self._summed_diagonal = self.term_diagonals.sum(axis=0)
         # (dim, num_terms) factor pre-scaled by -i, so the batched per-column
         # phase exponents are a single GEMM with the (num_terms, M) angles.
         self._term_diag_T_negj = np.ascontiguousarray(-1j * self.term_diagonals.T)
@@ -395,11 +434,69 @@ class MultiAngleXMixer(Mixer):
         psi = self._check_state(psi)
         scratch = self._scratch
         walsh_hadamard_transform(psi, out=scratch)
-        scratch *= self.term_diagonals.sum(axis=0)
+        scratch *= self._summed_diagonal
         if out is None:
             out = np.empty_like(scratch)
         walsh_hadamard_transform(scratch, out=out)
         return out
+
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched summed-Hamiltonian product (see :func:`_wht_diagonal_product`)."""
+        return _wht_diagonal_product(
+            self, self._summed_diagonal, Psi, out, workspace, self._hadamard_pair
+        )
+
+    def term_gradients_batch(
+        self,
+        Phi: np.ndarray,
+        Psi: np.ndarray,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """``2 Im <phi_j | H_t | psi_j>`` for every term ``t`` and column ``j``.
+
+        The per-term beta derivatives of one multi-angle layer for a whole
+        batch, shape ``(num_angles, M)``.  Because every ``H_t`` is diagonal
+        in the Hadamard basis, both batches are transformed once and all
+        ``num_angles * M`` inner products collapse into a single real GEMM
+        with the stacked term diagonals — instead of the scalar path's
+        ``num_angles`` separate Hamiltonian products per column.  ``Phi`` and
+        ``Psi`` must be C-contiguous complex ``(dim, M)`` matrices; neither is
+        modified.
+        """
+        Phi = np.asarray(Phi)
+        Psi = np.asarray(Psi)
+        if Phi.shape != Psi.shape or Phi.ndim != 2 or Phi.shape[0] != self.dim:
+            raise ValueError(
+                f"batched statevectors have shapes {Phi.shape} / {Psi.shape}, "
+                f"expected matching ({self.dim}, M) for {self!r}"
+            )
+        M = Phi.shape[1]
+        if workspace is not None:
+            via = workspace.scratch(M)
+            wphi = workspace.phase(M)
+            wpsi = workspace.aux(M)
+        else:
+            via = np.empty((self.dim, M), dtype=np.complex128)
+            wphi = np.empty((self.dim, M), dtype=np.complex128)
+            wpsi = np.empty((self.dim, M), dtype=np.complex128)
+        h_hi, h_lo = self._hadamard_pair
+        walsh_hadamard_gemm(Phi, via, wphi, h_hi, h_lo)
+        walsh_hadamard_gemm(Psi, via, wpsi, h_hi, h_lo)
+        # A = conj(W phi) * (W psi); both transforms are unnormalized, so A
+        # carries an extra factor of dim that the final scale removes.
+        np.conjugate(wphi, out=wphi)
+        wphi *= wpsi
+        # One real GEMM against the interleaved re/im view gives the real and
+        # imaginary parts of every <W phi| d_t |W psi> side by side.
+        products = self.term_diagonals @ wphi.view(np.float64).reshape(self.dim, 2 * M)
+        return (2.0 / self.dim) * products[:, 1::2]
 
     def apply_hamiltonian_term(self, psi: np.ndarray, term_index: int) -> np.ndarray:
         """``(prod_{i in t} X_i) |psi>`` for a single term (per-angle gradients)."""

@@ -121,6 +121,13 @@ class XYMixer(DiagonalizedMixer):
         eigenvalues, eigenvectors = np.linalg.eigh(mat)
         return eigenvalues, eigenvectors
 
+    def _require_real_basis(self) -> None:
+        if not self._real_basis:
+            raise RuntimeError(
+                f"{type(self).__name__} lost its real eigenbasis; spectral "
+                "data was replaced after construction"
+            )
+
     def apply_batch(
         self,
         Psi: np.ndarray,
@@ -136,12 +143,20 @@ class XYMixer(DiagonalizedMixer):
         half the flops of complex GEMMs.  This override pins that invariant so
         a silent fall-back to the promoted complex path cannot creep in.
         """
-        if not self._real_basis:
-            raise RuntimeError(
-                f"{type(self).__name__} lost its real eigenbasis; spectral "
-                "data was replaced after construction"
-            )
+        self._require_real_basis()
         return super().apply_batch(Psi, betas, out=out, workspace=workspace)
+
+    def apply_hamiltonian_batch(
+        self,
+        Psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        workspace=None,
+    ) -> np.ndarray:
+        """Batched ``H_M`` product with the same real-GEMM invariant as
+        :meth:`apply_batch` (the batched adjoint pass calls this every round)."""
+        self._require_real_basis()
+        return super().apply_hamiltonian_batch(Psi, out=out, workspace=workspace)
 
     def cache_key(self) -> str:
         return self._make_key(self.n, self.k)
