@@ -9,6 +9,10 @@ resume as a no-op once complete.
 
 from __future__ import annotations
 
+import multiprocessing
+
+import pytest
+
 from repro.bench.figures import figure4b_points
 from repro.experiments import RunStore, enumerate_tasks, run_experiment
 
@@ -31,6 +35,55 @@ def test_runner_covers_fig4b_grid(tmp_path):
         "fig4b", scale="quick", out_dir=tmp_path / "runs", workers=2, overrides=overrides
     )
     assert resumed.executed == 0 and resumed.skipped == len(points)
+
+
+def _run_shard(out_dir: str, shard_index: int, shard_count: int, barrier) -> None:
+    barrier.wait()  # start both shard runners at the same instant
+    run_experiment(
+        "fig4b",
+        scale="quick",
+        out_dir=out_dir,
+        workers=1,
+        overrides={"repeats": 1},
+        shard=(shard_index, shard_count),
+    )
+
+
+def test_simultaneous_shards_share_one_store(tmp_path):
+    """Two shard runners writing one store at the same time lose nothing."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        pytest.skip("simultaneous-shard sweep needs the fork start method")
+    out = tmp_path / "shared-runs"
+    barrier = ctx.Barrier(2)
+    procs = [
+        ctx.Process(target=_run_shard, args=(str(out), i, 2, barrier)) for i in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=300)
+    assert [proc.exitcode for proc in procs] == [0, 0]
+
+    store = RunStore.open(out / "fig4b-quick")
+    assert store.is_complete()
+    assert (store.directory / "rows-shard-1-of-2.jsonl").exists()
+    assert (store.directory / "rows-shard-2-of-2.jsonl").exists()
+
+    serial = run_experiment(
+        "fig4b", scale="quick", out_dir=tmp_path / "serial-runs", workers=1,
+        overrides={"repeats": 1},
+    )
+    serial_rows = RunStore.open(serial.directory).rows()
+    # Timing columns differ run to run; the grid and its identity columns must
+    # match the single-writer reference exactly, in the same canonical order.
+    key_cols = [
+        {k: row[k] for k in ("simulator", "p", "n")} for row in store.rows()
+    ]
+    assert key_cols == [
+        {k: row[k] for k in ("simulator", "p", "n")} for row in serial_rows
+    ]
 
 
 def test_grover_tasks_match_direct_rows(tmp_path):

@@ -11,7 +11,10 @@ Commands
     ``--out``.  Work is sharded across ``--workers`` processes; completed
     tasks recorded in a store's manifest are skipped, so re-running after an
     interruption picks up where the sweep stopped.  ``--shard I/M`` takes a
-    static 1-of-M slice of the work-list for multi-machine fan-out.
+    static 1-of-M slice of the work-list for multi-machine fan-out; shards
+    launched simultaneously against one ``--out`` store are safe (each writer
+    appends to its own ``--writer-id`` row segment and manifest updates are
+    serialized by a cross-process lock).
 
 ``repro status``
     Summarize every run store under ``--out`` (tasks completed, rows, state).
@@ -30,9 +33,10 @@ from pathlib import Path
 
 from .bench.figures import format_rows
 from .experiments.runner import run_experiment, scale_env, store_directory
-from .experiments.store import MANIFEST_NAME, ROWS_NAME, RunStore, RunStoreError
+from .experiments.store import LOCK_NAME, MANIFEST_NAME, RunStore, RunStoreError
 from .experiments.tasks import EXPERIMENT_NAMES, enumerate_tasks, get_experiment
 from .hpc.parallel import default_workers
+from .io.locking import LockTimeout
 
 __all__ = ["main", "build_parser"]
 
@@ -75,7 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard",
         default="1/1",
         metavar="I/M",
-        help="run only the I-th of M static work-list shards (1-based, default 1/1)",
+        help="run only the I-th of M static work-list shards (1-based, default 1/1); "
+        "simultaneous shards may safely share one --out store",
+    )
+    p_run.add_argument(
+        "--writer-id",
+        dest="writer_id",
+        default=None,
+        metavar="ID",
+        help="name of this writer's row segment in the store "
+        "(default shard-I-of-M; [A-Za-z0-9._-] only)",
     )
     p_run.add_argument(
         "--set",
@@ -203,9 +216,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name in targets:
         directory = store_directory(args.out, name, args.scale)
         if args.fresh:
-            stale_names = (MANIFEST_NAME, ROWS_NAME, ROWS_NAME + ".tmp")
-            for stale in (directory / stale_name for stale_name in stale_names):
-                stale.unlink(missing_ok=True)
+            # --fresh assumes no other writer is active on the store: the
+            # manifest, the lock, every row segment (rows.jsonl and
+            # rows-<writer>.jsonl) and any leftover compaction temp files go.
+            stale = [directory / MANIFEST_NAME, directory / LOCK_NAME]
+            if directory.is_dir():
+                stale.extend(directory.glob("rows*.jsonl*"))
+            for path in stale:
+                path.unlink(missing_ok=True)
         try:
             run_experiment(
                 name,
@@ -214,11 +232,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 workers=workers,
                 overrides=overrides,
                 shard=shard,
+                writer_id=args.writer_id,
                 log=print,
             )
-        except (RunStoreError, ValueError) as exc:
+        except (RunStoreError, LockTimeout, ValueError) as exc:
             # ValueError covers user input rejected downstream (unknown
-            # --set override key, bad scale) — a clean message, not a traceback.
+            # --set override key, bad scale); LockTimeout a store whose lock
+            # another writer held too long — a clean message, not a traceback.
             print(f"error: {exc}", file=sys.stderr)
             failures += 1
     return 1 if failures else 0

@@ -14,9 +14,14 @@ Two levels of sharding compose:
 * ``workers`` — processes on this machine (``REPRO_WORKERS``/CPU default);
 * ``shard=(index, count)`` — a static 1-of-``count`` slice of the work-list
   for fanning a sweep across machines/CI jobs that share nothing but the
-  task enumeration.  Shards may write to the same store directory at
-  different times (e.g. sequential CI jobs); completed tasks are skipped
-  wherever they ran.
+  task enumeration.  Shards may write to the same store directory — even
+  truly simultaneously: each writer appends to its own segment file (named
+  after ``writer_id``, default ``shard-I-of-M``) and every manifest update
+  happens under the store's cross-process lock, so completed tasks are
+  skipped wherever and whenever they ran.  Simultaneous writers on
+  *different machines* additionally need the shared filesystem to propagate
+  the lock between hosts (see the README's concurrency-semantics section);
+  same-machine writers and different-time writers are always safe.
 """
 
 from __future__ import annotations
@@ -96,25 +101,35 @@ def run_experiment(
     workers: int | None = None,
     overrides: dict | None = None,
     shard: tuple[int, int] = (0, 1),
+    writer_id: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> RunReport:
     """Run (or resume) one experiment sweep into its run store.
 
     ``shard=(i, m)`` executes only tasks whose work-list index is congruent
-    to ``i`` modulo ``m``.  Returns a :class:`RunReport`; the rows themselves
-    live in the store (``RunStore.open(report.directory).rows()``).
+    to ``i`` modulo ``m``.  ``writer_id`` names this writer's append-only row
+    segment in the store (default ``shard-I-of-M``), which is what lets
+    several shard runners write one store directory at the same time without
+    contending on row bytes.  Returns a :class:`RunReport`; the rows
+    themselves live in the store (``RunStore.open(report.directory).rows()``).
     """
     spec = get_experiment(name)
     shard_index, shard_count = shard
     if shard_count < 1 or not 0 <= shard_index < shard_count:
         raise ValueError(f"invalid shard {shard_index}/{shard_count}")
+    writer_id = writer_id or f"shard-{shard_index + 1}-of-{shard_count}"
     emit = log or (lambda _msg: None)
     started = time.perf_counter()
     with scale_env(scale):
         tasks = enumerate_tasks(name, overrides)
         directory = store_directory(out_dir, name, scale)
         store = RunStore.create_or_resume(
-            directory, experiment=name, scale=scale, tasks=tasks, overrides=overrides
+            directory,
+            experiment=name,
+            scale=scale,
+            tasks=tasks,
+            overrides=overrides,
+            writer_id=writer_id,
         )
         my_tasks = [t for i, t in enumerate(tasks) if i % shard_count == shard_index]
         pending = store.pending(my_tasks)
@@ -165,6 +180,7 @@ def run_many(
     workers: int | None = None,
     overrides: dict | None = None,
     shard: tuple[int, int] = (0, 1),
+    writer_id: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> list[RunReport]:
     """Run several experiments in sequence (``names=EXPERIMENT_NAMES`` for ``all``)."""
@@ -176,6 +192,7 @@ def run_many(
             workers=workers,
             overrides=overrides,
             shard=shard,
+            writer_id=writer_id,
             log=log,
         )
         for name in names

@@ -1,6 +1,6 @@
-"""Crash-safe persistence for experiment sweeps.
+"""Crash-safe, concurrency-safe persistence for experiment sweeps.
 
-A :class:`RunStore` is a directory holding two files:
+A :class:`RunStore` is a directory holding:
 
 ``manifest.json``
     The run's identity (experiment, scale, overrides), the full ordered task
@@ -8,34 +8,72 @@ A :class:`RunStore` is a directory holding two files:
     rename, the idiom of :mod:`repro.angles.checkpoint`) so readers never see
     a torn manifest.
 
-``rows.jsonl``
+``rows.jsonl`` / ``rows-<writer_id>.jsonl``
     Append-only result rows, one JSON object per line, each tagged with the
-    task that produced it.  Rows are fsynced *before* their task is marked
-    complete in the manifest, so the manifest's ``completed`` map is the
-    single source of truth: a crash between the two writes merely leaves
-    orphan rows, which are compacted away the next time the store is opened.
+    task that produced it.  A store opened with a ``writer_id`` appends to its
+    own *segment* file ``rows-<writer_id>.jsonl`` (so concurrent writers never
+    touch the same bytes); without one it uses the shared legacy ``rows.jsonl``.
+    Rows are fsynced *before* their task is marked complete in the manifest,
+    so the manifest's ``completed`` map is the single source of truth: a crash
+    between the two writes merely leaves orphan rows, which are compacted away
+    the next time a writing runner opens the store.
 
-An interrupted sweep therefore resumes by re-enumerating the work-list,
-skipping every task in ``completed``, and appending the rest.  Reading rows
-back yields them grouped in work-list order regardless of the (possibly
-sharded, unordered) execution order.
+``store.lock``
+    The cross-process advisory lock (:class:`repro.io.locking.FileLock`).
+    Every mutation — manifest creation, the reload-merge-save in
+    :meth:`record`, orphan-row compaction — runs while it is held, which is
+    what makes truly simultaneous writers to one store directory safe: no
+    completion can be lost to a manifest read-modify-write race, no two
+    compactions can clobber each other's temp file, and no append can truncate
+    another writer's in-flight line.
+
+Each completed-task manifest entry records which segment its rows live in, so
+:meth:`rows` can merge all segments at read time and still cap every task at
+the exact row count its (single, winning) writer recorded — a task recorded by
+two racing writers contributes rows from the winner's segment only.
+
+An interrupted sweep resumes by re-enumerating the work-list, skipping every
+task in ``completed``, and appending the rest.  Reading rows back yields them
+grouped in work-list order regardless of the (possibly sharded, unordered,
+multi-writer) execution order.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..io.locking import FileLock
 from ..io.results import append_jsonl, read_jsonl, write_json_atomic
 from .tasks import RowTask
 
-__all__ = ["RunStore", "RunStoreError", "MANIFEST_NAME", "ROWS_NAME"]
+__all__ = [
+    "RunStore",
+    "RunStoreError",
+    "MANIFEST_NAME",
+    "ROWS_NAME",
+    "LOCK_NAME",
+    "segment_name",
+]
 
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
+LOCK_NAME = "store.lock"
+
+#: Writer ids become file-name components, so keep them boring and portable.
+_WRITER_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def segment_name(writer_id: str) -> str:
+    """The row-segment file name owned by ``writer_id``."""
+    return f"rows-{writer_id}.jsonl"
 
 
 class RunStoreError(RuntimeError):
@@ -45,10 +83,20 @@ class RunStoreError(RuntimeError):
 class RunStore:
     """One experiment run persisted under ``directory`` (see module docstring)."""
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, *, writer_id: str | None = None):
+        if writer_id is not None and not _WRITER_ID_PATTERN.match(writer_id):
+            raise RunStoreError(
+                f"invalid writer id {writer_id!r}: use 1-64 characters from [A-Za-z0-9._-], "
+                "starting with a letter or digit"
+            )
         self.directory = Path(directory)
+        self.writer_id = writer_id
         self.manifest_path = self.directory / MANIFEST_NAME
         self.rows_path = self.directory / ROWS_NAME
+        self.segment_path = (
+            self.directory / segment_name(writer_id) if writer_id else self.rows_path
+        )
+        self.lock = FileLock(self.directory / LOCK_NAME)
         self._manifest: dict | None = None
 
     # ------------------------------------------------------------------
@@ -58,10 +106,11 @@ class RunStore:
     def open(cls, directory: str | Path) -> "RunStore":
         """Open an existing store for reading, failing clearly if there is none.
 
-        Opening never mutates the store (``repro status``/``report`` must be
-        safe to run while a sweep is writing): orphan rows from a crashed
-        append are filtered out at read time by :meth:`rows` and compacted
-        away only by the writing runner (:meth:`create_or_resume`).
+        Opening never mutates the store and never takes the lock (``repro
+        status``/``report`` must be safe to run while a sweep is writing):
+        orphan rows from a crashed append are filtered out at read time by
+        :meth:`rows` and compacted away only by a writing runner
+        (:meth:`create_or_resume`).
         """
         store = cls(directory)
         if not store.manifest_path.exists():
@@ -78,15 +127,18 @@ class RunStore:
         scale: str,
         tasks: Sequence[RowTask],
         overrides: dict | None = None,
+        writer_id: str | None = None,
     ) -> "RunStore":
         """Create a fresh store, or validate + compact an existing one for resume.
 
         Resuming requires the stored run to match the requested experiment,
         scale, overrides and task work-list exactly; anything else would
         silently mix incompatible rows, so it raises :class:`RunStoreError`
-        (pick a new directory or delete the old run).
+        (pick a new directory or delete the old run).  The whole operation
+        runs under the store lock, so two writers creating the same store
+        simultaneously serialize into one create followed by one resume.
         """
-        store = cls(directory)
+        store = cls(directory, writer_id=writer_id)
         # Normalize to JSON-canonical form (tuples -> lists, numpy scalars ->
         # floats) so the comparison against a manifest that round-tripped
         # through json.dump treats an identical re-run as identical.
@@ -94,22 +146,24 @@ class RunStore:
         task_ids = [t.task_id for t in tasks]
         if len(set(task_ids)) != len(task_ids):
             raise RunStoreError(f"duplicate task ids in {experiment!r} work-list")
-        if store.manifest_path.exists():
-            store._load_manifest()
-            store._check_compatible(experiment, scale, task_ids, overrides)
-            store._compact_orphan_rows()
+        store.directory.mkdir(parents=True, exist_ok=True)
+        with store.lock:
+            if store.manifest_path.exists():
+                store._load_manifest()
+                store._check_compatible(experiment, scale, task_ids, overrides)
+                store._compact_orphan_rows()
+                return store
+            store._manifest = {
+                "format_version": FORMAT_VERSION,
+                "experiment": experiment,
+                "scale": scale,
+                "overrides": overrides,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "task_ids": task_ids,
+                "completed": {},
+            }
+            store._save_manifest()
             return store
-        store._manifest = {
-            "format_version": FORMAT_VERSION,
-            "experiment": experiment,
-            "scale": scale,
-            "overrides": overrides,
-            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            "task_ids": task_ids,
-            "completed": {},
-        }
-        store._save_manifest()
-        return store
 
     def _load_manifest(self) -> None:
         with open(self.manifest_path, "r", encoding="utf-8") as handle:
@@ -193,50 +247,107 @@ class RunStore:
             "state": "complete" if self.is_complete() else "partial",
         }
 
+    def segment_paths(self) -> list[Path]:
+        """Every row file of this store: the shared legacy one plus all segments."""
+        return [self.rows_path, *sorted(self.directory.glob("rows-*.jsonl"))]
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
     def record(self, task_id: str, rows: Sequence[dict], *, duration_s: float = 0.0) -> None:
         """Durably store one task's rows and mark the task complete.
 
-        Rows hit disk (fsync) before the manifest update, so a crash in
-        between leaves recoverable state: the task re-runs on resume and its
-        orphan rows are compacted away.
+        The append and the manifest update happen in one lock-protected
+        critical section: the manifest is reloaded from disk first, so
+        completions other writers recorded since our last load are merged
+        rather than lost, and a task another writer already completed is a
+        no-op warning (the redundant append is skipped entirely).  Rows still
+        hit disk (fsync) before the manifest update, so a crash in between
+        leaves recoverable state: the task re-runs on resume and its orphan
+        rows are compacted away.
+
+        The segment append deliberately stays inside the critical section
+        even though the segment file is private to this writer: another
+        writer's :meth:`create_or_resume` may be compacting (rewriting) this
+        very segment under the lock, and an unlocked append racing that
+        mkstemp+replace could be silently dropped after its fsync but before
+        the manifest commit.  The expensive work — executing the task — has
+        already happened outside the lock; what is serialized here is only
+        the small row flush and the manifest write.
         """
-        manifest = self.manifest
-        if task_id not in manifest["task_ids"]:
+        if task_id not in self.manifest["task_ids"]:
             raise RunStoreError(f"task {task_id!r} is not in this run's work-list")
-        if task_id in manifest["completed"]:
-            raise RunStoreError(f"task {task_id!r} is already recorded")
-        append_jsonl(
-            self.rows_path,
-            [{"task_id": task_id, "row": dict(row)} for row in rows],
-        )
-        # Merge completions another shard may have recorded since we loaded the
-        # manifest, so writers targeting the same store don't drop each other's
-        # entries (shards are still expected to avoid fully simultaneous starts;
-        # see the runner docstring).
-        if self.manifest_path.exists():
-            self._load_manifest()
+        with self.lock:
+            if self.manifest_path.exists():
+                self._load_manifest()
             manifest = self.manifest
-        manifest["completed"][task_id] = {
-            "rows": len(rows),
-            "duration_s": round(float(duration_s), 6),
-        }
-        self._save_manifest()
+            if task_id in manifest["completed"]:
+                warnings.warn(
+                    f"task {task_id!r} is already recorded in {self.directory} "
+                    "(another writer finished it first); skipping the redundant append",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            append_jsonl(
+                self.segment_path,
+                [{"task_id": task_id, "row": dict(row)} for row in rows],
+                lock=self.lock,
+            )
+            manifest["completed"][task_id] = {
+                "rows": len(rows),
+                "duration_s": round(float(duration_s), 6),
+                "segment": self.segment_path.name,
+            }
+            self._save_manifest()
 
     def _compact_orphan_rows(self) -> None:
-        """Drop rows whose task never completed (crash between append and manifest)."""
-        records = read_jsonl(self.rows_path)
-        completed = self.completed_ids()
-        kept = [r for r in records if r.get("task_id") in completed]
-        if len(kept) != len(records):
-            # Rewrite the JSONL atomically: fresh temp content, then replace.
-            tmp = self.rows_path.with_name(ROWS_NAME + ".tmp")
-            if tmp.exists():
-                tmp.unlink()
-            append_jsonl(tmp, kept)
-            tmp.replace(self.rows_path)
+        """Drop rows whose task never completed (crash between append and manifest).
+
+        Runs under the store lock (see :meth:`create_or_resume`).  Every
+        segment is compacted independently; the temp file comes from
+        :func:`tempfile.mkstemp`, so two compacting writers — already
+        serialized by the lock — can never clobber a shared fixed temp name.
+        Rows of a completed task living outside the segment its manifest entry
+        names (a duplicate-record race loser that crashed before the no-op
+        check existed, or after appending) are orphans too.
+        """
+        completed = self.manifest["completed"]
+        for seg_path in self.segment_paths():
+            records = read_jsonl(seg_path)
+            # Keep, per completed task recorded in this segment, only the
+            # LAST entry["rows"] records: a crashed append by an earlier
+            # writer with the same writer_id can leave complete orphan lines
+            # for a task *before* the committed run of the same task, and
+            # those must not survive to mix into reads.
+            budget: dict[str, int] = {}
+            kept_reversed = []
+            for record in reversed(records):
+                entry = completed.get(record.get("task_id"))
+                if entry is None or entry.get("segment", ROWS_NAME) != seg_path.name:
+                    continue
+                remaining = budget.setdefault(record["task_id"], int(entry["rows"]))
+                if remaining <= 0:
+                    continue
+                budget[record["task_id"]] = remaining - 1
+                kept_reversed.append(record)
+            kept = kept_reversed[::-1]
+            if len(kept) == len(records):
+                continue
+            if not kept:
+                seg_path.unlink(missing_ok=True)
+                continue
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=seg_path.name + ".", suffix=".tmp"
+            )
+            try:
+                os.close(fd)
+                append_jsonl(tmp_name, kept)
+                os.replace(tmp_name, seg_path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
 
     # ------------------------------------------------------------------
     # Reading
@@ -244,19 +355,28 @@ class RunStore:
     def rows(self) -> list[dict]:
         """All rows of completed tasks, grouped in work-list order.
 
-        Orphan rows (task never marked complete) are skipped, and each task's
-        rows are capped at the count its manifest entry recorded, so neither a
-        crashed append nor a double-recorded task can inflate the results.
+        Segments are merged at read time.  Orphan rows (task never marked
+        complete, or living in a segment other than the one the task's
+        manifest entry names) are skipped, and each task yields only the
+        *last* ``rows`` records its manifest entry counted: the committed
+        append is always the segment's final run for that task, while any
+        complete lines an earlier same-``writer_id`` crash left behind sit
+        before it.  So neither a crashed append, a double-recorded task, nor
+        a lost duplicate-writer race can inflate, corrupt, or reorder the
+        results.
         """
-        records = read_jsonl(self.rows_path)
         completed = self.manifest["completed"]
         by_task: dict[str, list[dict]] = {}
-        for record in records:
-            task_id = record.get("task_id")
-            if task_id in completed:
-                by_task.setdefault(task_id, []).append(record["row"])
+        for seg_path in self.segment_paths():
+            seg = seg_path.name
+            for record in read_jsonl(seg_path):
+                entry = completed.get(record.get("task_id"))
+                if entry is not None and entry.get("segment", ROWS_NAME) == seg:
+                    by_task.setdefault(record["task_id"], []).append(record["row"])
         ordered: list[dict] = []
         for task_id in self.manifest["task_ids"]:
             if task_id in completed:
-                ordered.extend(by_task.get(task_id, [])[: completed[task_id]["rows"]])
+                found = by_task.get(task_id, [])
+                count = int(completed[task_id]["rows"])
+                ordered.extend(found[-count:] if count else [])
         return ordered

@@ -79,11 +79,14 @@ def _compress_chunk(
     n: int,
     k: int | None = None,
     decimals: int | None = None,
-) -> CompressedObjective:
+) -> CompressedObjective | None:
     vals = evaluate_chunk(chunk, cost_vectorized, n, k)
     if vals.size == 0:
-        # An empty chunk contributes nothing; represent it as a zero-total sentinel.
-        return CompressedObjective(values=np.array([0.0]), degeneracies=(1,), total=1)
+        # An empty chunk contributes nothing.  It must NOT be encoded as a
+        # value-0.0 single-state spectrum: merge() would fold that phantom
+        # state in as real, inflating the total, shifting the mean, and even
+        # becoming the reported optimum when all true values are negative.
+        return None
     return compress_objective(vals, decimals=decimals)
 
 
@@ -167,7 +170,14 @@ def parallel_compress(
     )
     chunks = [c for c in chunks if c.size > 0]
     worker = partial(_compress_chunk, cost_vectorized=cost_vectorized, n=n, k=k, decimals=decimals)
-    pieces = _run_chunks(worker, chunks, processes)
+    pieces = [p for p in _run_chunks(worker, chunks, processes) if p is not None]
+    if not pieces:
+        # Mirrors CompressedObjective.__post_init__'s contract instead of the
+        # bare IndexError a pieces[0] lookup would raise.
+        raise ValueError(
+            "cannot compress an empty feasible space: "
+            "compressed spectrum must contain at least one value"
+        )
     merged = pieces[0]
     for piece in pieces[1:]:
         merged = merged.merge(piece)

@@ -1,4 +1,4 @@
-"""Persistence: mixer eigendecomposition caches, angle checkpoints, results."""
+"""Persistence: mixer eigendecomposition caches, angle checkpoints, results, locks."""
 
 from .cache import (
     cached_eigendecomposition,
@@ -6,6 +6,7 @@ from .cache import (
     load_eigendecomposition,
     save_eigendecomposition,
 )
+from .locking import FileLock, LockTimeout, locking_backend
 from .results import (
     append_jsonl,
     load_rows,
@@ -19,6 +20,9 @@ __all__ = [
     "default_cache_dir",
     "load_eigendecomposition",
     "save_eigendecomposition",
+    "FileLock",
+    "LockTimeout",
+    "locking_backend",
     "append_jsonl",
     "load_rows",
     "read_jsonl",

@@ -1,0 +1,348 @@
+"""Cross-process advisory file locking for shared run stores.
+
+A :class:`FileLock` serializes critical sections across *processes* (and, as a
+side effect of using one OS lock per acquisition, across threads holding
+distinct lock objects).  It is the coordination primitive behind concurrent
+same-store writers in :mod:`repro.experiments.store`: every manifest
+reload-merge-save and every shared-file append happens while the store's lock
+is held, so two shard runners can no longer lose each other's completions or
+tear each other's JSONL lines.
+
+Three backends, picked automatically:
+
+``fcntl`` (POSIX)
+    ``flock(LOCK_EX)`` on a dedicated lock file.  The kernel releases the lock
+    when the owning process dies, so no stale-lock handling is ever needed.
+    Cross-*machine* exclusion additionally requires a shared filesystem that
+    propagates ``flock`` between hosts (NFSv4 does; NFSv3 ``nolock`` and some
+    FUSE/SMB mounts treat it as host-local).
+
+``msvcrt`` (Windows)
+    ``msvcrt.locking(LK_NBLCK)`` on the first byte of the lock file; likewise
+    released by the OS on process exit.
+
+``mkfile`` (last resort)
+    Plain ``O_CREAT | O_EXCL`` lock-file creation for exotic platforms with
+    neither module.  Because nothing releases the file if the owner dies, the
+    lock file records the owner's PID and the acquirer breaks locks that are
+    *stale*: owned by a dead process (same host) or untouched for longer than
+    ``stale_timeout`` seconds (mtime check, covering unreadable metadata and
+    cross-host owners).
+
+All backends share the same blocking-with-timeout ``acquire``/``release``
+surface and are reentrant per :class:`FileLock` object, so a helper that takes
+an optional lock can be called both inside and outside an existing ``with
+lock:`` block.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+import threading
+import time
+import warnings
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on Windows
+    fcntl = None  # type: ignore[assignment]
+try:  # Windows
+    import msvcrt
+except ImportError:
+    msvcrt = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeout", "locking_backend"]
+
+#: Default seconds to wait for a contended lock before giving up.
+DEFAULT_TIMEOUT = 60.0
+#: Default polling interval while waiting on a contended lock.
+DEFAULT_POLL_INTERVAL = 0.01
+#: Default age (seconds since last mtime) after which a ``mkfile`` lock whose
+#: owner cannot be probed is considered abandoned.
+DEFAULT_STALE_TIMEOUT = 600.0
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock could not be acquired within the allowed time."""
+
+
+def locking_backend() -> str:
+    """The backend :class:`FileLock` uses on this platform."""
+    if fcntl is not None:
+        return "fcntl"
+    if msvcrt is not None:
+        return "msvcrt"
+    return "mkfile"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a PID on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists but isn't ours
+        return True
+    except OSError:  # pragma: no cover - platforms without signals
+        return True
+    return True
+
+
+class FileLock:
+    """Cross-process advisory lock on ``path`` with a context-manager API.
+
+    The lock file itself is never deleted by the ``fcntl``/``msvcrt`` backends
+    (unlinking a locked file is a classic race); it only holds metadata about
+    the most recent owner for debugging.  Acquisition is reentrant per object:
+    nested ``with lock:`` blocks on the same :class:`FileLock` are counted, and
+    the OS lock is released when the outermost block exits.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        stale_timeout: float = DEFAULT_STALE_TIMEOUT,
+        backend: str | None = None,
+    ):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll_interval = max(1e-4, float(poll_interval))
+        self.stale_timeout = float(stale_timeout)
+        self.backend = backend or locking_backend()
+        if self.backend not in ("fcntl", "msvcrt", "mkfile"):
+            raise ValueError(f"unknown locking backend {self.backend!r}")
+        self._fd: int | None = None
+        self._depth = 0
+        self._owner_thread: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_held(self) -> bool:
+        """Whether this object currently holds the lock."""
+        return self._depth > 0
+
+    def acquire(self, timeout: float | None = None) -> "FileLock":
+        """Block until the lock is held (reentrant), or raise :class:`LockTimeout`."""
+        if self._depth > 0:
+            if self._owner_thread != threading.get_ident():
+                # Re-entering from another thread would let both threads into
+                # the critical section (the depth counter owns the OS lock,
+                # not the thread).  Fail loudly instead of silently racing.
+                raise RuntimeError(
+                    f"{self.path} is held by another thread of this process; "
+                    "FileLock objects are not shareable across threads — "
+                    "create one lock object per thread"
+                )
+            self._depth += 1
+            return self
+        timeout = self.timeout if timeout is None else float(timeout)
+        deadline = time.monotonic() + timeout
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            if self._try_acquire():
+                self._depth = 1
+                self._owner_thread = threading.get_ident()
+                return self
+            if self.backend == "mkfile":
+                self._break_if_stale()
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {timeout:.1f}s "
+                    f"(backend={self.backend}; held by: {self._describe_owner()})"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        """Release one level of acquisition; the OS lock drops at depth zero."""
+        if self._depth == 0:
+            raise RuntimeError(f"release of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        self._owner_thread = None
+        try:
+            if self.backend == "fcntl":
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            elif self.backend == "msvcrt":  # pragma: no cover - Windows only
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+            else:
+                # The mkfile backend owns the file exclusively: removing it
+                # *is* the release — but only if the path still holds *our*
+                # file.  If we stalled past stale_timeout, a waiter may have
+                # broken our lock and re-created it; unlinking then would
+                # delete the new owner's live lock.
+                try:
+                    mine = os.fstat(fd)
+                    current = os.stat(self.path)
+                    if (current.st_dev, current.st_ino) == (mine.st_dev, mine.st_ino):
+                        self.path.unlink(missing_ok=True)
+                except OSError:
+                    pass  # already broken/replaced; nothing of ours to remove
+        finally:
+            if fd is not None:
+                os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    # Backend-specific acquisition
+    # ------------------------------------------------------------------
+    def _try_acquire(self) -> bool:
+        if self.backend == "fcntl":
+            return self._try_acquire_fcntl()
+        if self.backend == "msvcrt":  # pragma: no cover - Windows only
+            return self._try_acquire_msvcrt()
+        return self._try_acquire_mkfile()
+
+    def _try_acquire_fcntl(self) -> bool:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        self._write_owner_metadata(fd)
+        return True
+
+    def _try_acquire_msvcrt(self) -> bool:  # pragma: no cover - Windows only
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            os.lseek(fd, 0, os.SEEK_SET)
+            msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        self._write_owner_metadata(fd)
+        return True
+
+    def _try_acquire_mkfile(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+        except OSError as exc:
+            if exc.errno in (errno.EEXIST, errno.EACCES):
+                return False
+            raise
+        self._fd = fd
+        self._write_owner_metadata(fd)
+        return True
+
+    def _write_owner_metadata(self, fd: int) -> None:
+        payload = (
+            f"pid={os.getpid()} host={socket.gethostname()} "
+            f"acquired={time.strftime('%Y-%m-%dT%H:%M:%S%z')}\n"
+        )
+        try:
+            os.ftruncate(fd, 0)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.write(fd, payload.encode("utf-8"))
+        except OSError:  # metadata is advisory; never fail an acquired lock
+            pass
+
+    # ------------------------------------------------------------------
+    # Stale-lock handling (mkfile backend only)
+    # ------------------------------------------------------------------
+    def _owner_info(self) -> tuple[int | None, str | None]:
+        """The ``(pid, host)`` recorded in the lock file, best effort."""
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return None, None
+        pid: int | None = None
+        host: str | None = None
+        for token in text.split():
+            if token.startswith("pid="):
+                try:
+                    pid = int(token[4:])
+                except ValueError:
+                    pid = None
+            elif token.startswith("host="):
+                host = token[5:]
+        return pid, host
+
+    def _describe_owner(self) -> str:
+        pid, host = self._owner_info()
+        if pid is None:
+            return "unknown owner"
+        return f"pid {pid}" + (f" on {host}" if host else "")
+
+    #: How long a break-mutex file may exist before it is considered abandoned
+    #: (it only ever lives for the microseconds of a stale-lock removal).
+    _BREAK_MUTEX_TIMEOUT = 30.0
+
+    def _break_if_stale(self) -> None:
+        """Remove an abandoned ``mkfile`` lock (dead owner PID, or mtime too old).
+
+        The removal itself is guarded: several waiters can judge the same lock
+        stale, and without coordination the slower one's ``unlink`` could land
+        *after* a faster one already broke the lock and a new owner re-created
+        it — deleting a live lock.  So the breaker first takes a short-lived
+        ``O_EXCL`` break mutex, then re-verifies (inode + mtime) that the file
+        it is about to unlink is still the exact one it judged stale.
+        """
+        try:
+            judged = self.path.stat()
+        except OSError:
+            return  # already gone; the next _try_acquire will race for it
+        pid, host = self._owner_info()
+        # The PID probe is only meaningful against this host's process table:
+        # on a shared network filesystem the owner may live on another machine
+        # whose PIDs mean nothing here.  A same-host owner that probes alive is
+        # never stale — however old the file's mtime, it may legitimately be
+        # deep in a long critical section.  The mtime test covers only owners
+        # that cannot be probed (foreign host, unreadable metadata).
+        same_host = host is not None and host == socket.gethostname()
+        probeable = same_host and pid is not None
+        alive = probeable and _pid_alive(pid)
+        dead_owner = probeable and not alive
+        too_old = not alive and (time.time() - judged.st_mtime) > self.stale_timeout
+        if not (dead_owner or too_old):
+            return
+        breaker = self.path.with_name(self.path.name + ".break")
+        try:
+            fd = os.open(breaker, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except OSError:
+            # Another waiter is breaking right now — unless the breaker itself
+            # died mid-break, in which case clear its abandoned mutex so the
+            # lock path cannot wedge forever.
+            try:
+                if (time.time() - breaker.stat().st_mtime) > self._BREAK_MUTEX_TIMEOUT:
+                    breaker.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        try:
+            try:
+                current = self.path.stat()
+            except OSError:
+                return  # broken by the previous mutex holder
+            if (current.st_ino, current.st_mtime_ns) != (judged.st_ino, judged.st_mtime_ns):
+                return  # replaced by a live owner since we judged it stale
+            if dead_owner:
+                reason = f"owner pid {pid} is dead"
+            else:
+                reason = f"untouched for >{self.stale_timeout:.0f}s"
+            warnings.warn(
+                f"breaking stale lock {self.path} ({reason})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.path.unlink(missing_ok=True)
+        finally:
+            os.close(fd)
+            breaker.unlink(missing_ok=True)

@@ -5,12 +5,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from ..core.simulator import QAOAResult
+from .locking import FileLock
 
 __all__ = [
     "result_to_dict",
@@ -74,7 +76,9 @@ def load_rows(path: str | Path) -> list[dict]:
     return data
 
 
-def append_jsonl(path: str | Path, records: Sequence[dict]) -> Path:
+def append_jsonl(
+    path: str | Path, records: Sequence[dict], *, lock: FileLock | None = None
+) -> Path:
     """Append one JSON object per line to ``path``, fsyncing before returning.
 
     This is the append-only persistence primitive behind the experiment run
@@ -83,19 +87,30 @@ def append_jsonl(path: str | Path, records: Sequence[dict]) -> Path:
 
     If the file ends in a torn line from a previous crashed append, that
     partial line is truncated away first — otherwise the new record would
-    concatenate onto it and corrupt both.
+    concatenate onto it and corrupt both.  When several *processes* may append
+    to the same file, pass the shared ``lock``: the truncation check is a
+    read-then-truncate on the whole file, so unlocked it can destroy another
+    writer's in-flight (not yet newline-terminated) bytes.  ``FileLock`` is
+    reentrant per object, so passing a lock the caller already holds is safe.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    if path.exists():
-        raw = path.read_bytes()
-        if raw and not raw.endswith(b"\n"):
-            os.truncate(path, raw.rfind(b"\n") + 1)
-    with open(path, "a", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, default=float) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    with lock if lock is not None else nullcontext():
+        if path.exists():
+            with open(path, "rb") as tail:
+                size = tail.seek(0, os.SEEK_END)
+                if size:
+                    tail.seek(size - 1)
+                    if tail.read(1) != b"\n":
+                        # Rare torn tail: only now pay for a full read to find
+                        # the last complete line (appends stay O(1) in size).
+                        tail.seek(0)
+                        os.truncate(path, tail.read().rfind(b"\n") + 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, default=float) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
     return path
 
 

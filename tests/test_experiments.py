@@ -123,9 +123,116 @@ class TestRunStore:
         )
         with pytest.raises(RunStoreError, match="not in this run"):
             store.record("zzz", [])
+
+    def test_duplicate_record_is_noop_warning(self, tmp_path):
+        # Two writers racing the same task must not crash the sweep: the
+        # loser's record is a warning that skips the redundant append.
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a"])
+        first = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w1"
+        )
+        second = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w2"
+        )
+        first.record("a", [{"x": 1}], duration_s=0.5)
+        with pytest.warns(RuntimeWarning, match="already recorded"):
+            second.record("a", [{"x": 999}])
+        merged = RunStore.open(directory)
+        assert merged.rows() == [{"x": 1}]  # winner's rows, loser appended nothing
+        assert not second.segment_path.exists()
+        assert merged.manifest["completed"]["a"]["rows"] == 1
+
+    def test_writer_segments_merge_at_read_time(self, tmp_path):
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a", "b", "c"])
+        w1 = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w1"
+        )
+        w2 = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w2"
+        )
+        w1.record("b", [{"x": 2}])
+        w2.record("a", [{"x": 1}])
+        w1.record("c", [{"x": 3}])
+        assert w1.segment_path.name == "rows-w1.jsonl"
+        assert read_jsonl(w1.segment_path) == [
+            {"task_id": "b", "row": {"x": 2}},
+            {"task_id": "c", "row": {"x": 3}},
+        ]
+        assert read_jsonl(w2.segment_path) == [{"task_id": "a", "row": {"x": 1}}]
+        merged = RunStore.open(directory)
+        assert merged.rows() == [{"x": 1}, {"x": 2}, {"x": 3}]
+        assert merged.is_complete()
+        assert merged.status()["rows"] == 3
+
+    def test_invalid_writer_id_rejected(self, tmp_path):
+        for bad in ("", "../evil", "a b", "-leading", "x" * 65):
+            with pytest.raises(RunStoreError, match="invalid writer id"):
+                RunStore(tmp_path / "s", writer_id=bad)
+
+    def test_crashed_same_writer_orphans_do_not_mix_into_reads(self, tmp_path):
+        # A hung original job and its retry share the default writer_id, so
+        # they share a segment.  If the original crashed mid-record leaving
+        # complete orphan lines for task t, and the retry later records t,
+        # reads must return the retry's (committed) rows — never a mix.
+        directory = tmp_path / "s"
+        tasks = make_tasks(["t"])
+        crashed = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="shard-1-of-1"
+        )
+        # Crash after two complete orphan lines, before the manifest update.
+        append_jsonl(
+            crashed.segment_path,
+            [{"task_id": "t", "row": {"x": "orphan0"}}, {"task_id": "t", "row": {"x": "orphan1"}}],
+        )
+        retry = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="shard-1-of-1"
+        )
+        # The retry's resume already compacted the orphans away ...
+        assert read_jsonl(retry.segment_path) == []
+        retry.record("t", [{"x": "good0"}, {"x": "good1"}, {"x": "good2"}])
+        assert retry.rows() == [{"x": "good0"}, {"x": "good1"}, {"x": "good2"}]
+
+        # ... but even when the orphan lines land *between* resume and record
+        # (truly overlapping writers), the read-side last-n cap keeps them out.
+        overlap = tmp_path / "s2"
+        first = RunStore.create_or_resume(
+            overlap, experiment="fig2", scale="quick", tasks=tasks, writer_id="w"
+        )
+        second = RunStore.create_or_resume(
+            overlap, experiment="fig2", scale="quick", tasks=tasks, writer_id="w"
+        )
+        append_jsonl(first.segment_path, [{"task_id": "t", "row": {"x": "orphan"}}])
+        second.record("t", [{"x": "good0"}, {"x": "good1"}])
+        assert RunStore.open(overlap).rows() == [{"x": "good0"}, {"x": "good1"}]
+        # The next resume compacts the stale prefix out of the segment.
+        compacted = RunStore.create_or_resume(
+            overlap, experiment="fig2", scale="quick", tasks=tasks, writer_id="w"
+        )
+        assert read_jsonl(compacted.segment_path) == [
+            {"task_id": "t", "row": {"x": "good0"}},
+            {"task_id": "t", "row": {"x": "good1"}},
+        ]
+
+    def test_segment_orphans_compacted_on_resume(self, tmp_path):
+        directory = tmp_path / "s"
+        tasks = make_tasks(["a", "b"])
+        store = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w1"
+        )
         store.record("a", [{"x": 1}])
-        with pytest.raises(RunStoreError, match="already recorded"):
-            store.record("a", [{"x": 1}])
+        # Crash after appending task b's rows but before the manifest update.
+        append_jsonl(store.segment_path, [{"task_id": "b", "row": {"x": 2}}])
+        readonly = RunStore.open(directory)
+        assert readonly.rows() == [{"x": 1}]
+        resumed = RunStore.create_or_resume(
+            directory, experiment="fig2", scale="quick", tasks=tasks, writer_id="w1"
+        )
+        assert read_jsonl(resumed.segment_path) == [{"task_id": "a", "row": {"x": 1}}]
+        assert resumed.pending(tasks) == [tasks[1]]
+        # No stray compaction temp files are left behind.
+        assert not list(directory.glob("*.tmp"))
 
     def test_resume_requires_matching_run(self, tmp_path):
         directory = tmp_path / "s"
@@ -287,8 +394,17 @@ class TestRunner:
         assert first.shard_tasks == 2 and not first.complete
         second = tiny_fig2_run(out, shard=(1, 2))
         assert second.complete
-        store = RunStore.open(store_directory(out, "fig2", "quick"))
+        directory = store_directory(out, "fig2", "quick")
+        store = RunStore.open(directory)
         assert store.rows() == run_figure2(**TINY_FIG2)
+        # Each shard wrote its own segment named after the default writer id.
+        assert (directory / "rows-shard-1-of-2.jsonl").exists()
+        assert (directory / "rows-shard-2-of-2.jsonl").exists()
+
+    def test_custom_writer_id(self, tmp_path):
+        report = tiny_fig2_run(tmp_path / "runs", writer_id="ci-job-7")
+        assert (report.directory / "rows-ci-job-7.jsonl").exists()
+        assert RunStore.open(report.directory).rows() == run_figure2(**TINY_FIG2)
 
     def test_invalid_shard(self, tmp_path):
         with pytest.raises(ValueError, match="shard"):
@@ -345,6 +461,23 @@ class TestCli:
         args = ["run", "fig2", "--workers", "1", "--out", out_dir, "--fresh", *TINY_FIG2_ARGS]
         assert main(args) == 0
         assert "4 executed, 0 skipped" in capsys.readouterr().out
+
+    def test_run_fresh_discards_writer_segments(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        base = ["run", "fig2", "--workers", "1", "--out", out_dir, *TINY_FIG2_ARGS]
+        assert main([*base, "--writer-id", "w1"]) == 0
+        capsys.readouterr()
+        assert main([*base, "--writer-id", "w2", "--fresh"]) == 0
+        assert "4 executed, 0 skipped" in capsys.readouterr().out
+        directory = store_directory(out_dir, "fig2", "quick")
+        assert not (directory / "rows-w1.jsonl").exists()  # stale segment gone
+        assert (directory / "rows-w2.jsonl").exists()
+
+    def test_invalid_writer_id_fails_cleanly(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "runs")
+        args = ["run", "fig2", "--out", out_dir, "--writer-id", "../evil", *TINY_FIG2_ARGS]
+        assert main(args) == 1
+        assert "invalid writer id" in capsys.readouterr().err
 
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["run", "fig9"]) == 2

@@ -32,6 +32,7 @@ from repro.hpc.memory import (
     simulator_memory_estimate,
     statevector_bytes,
 )
+from repro.hpc.parallel import _compress_chunk
 from repro.problems import erdos_renyi
 from repro.problems.maxcut import maxcut_values
 
@@ -39,6 +40,12 @@ from repro.problems.maxcut import maxcut_values
 @pytest.fixture(scope="module")
 def graph8():
     return erdos_renyi(8, 0.5, seed=20)
+
+
+def _negated_weight_cost(bits, offset=0.0):
+    """All-negative objective with several distinct values (picklable for pools)."""
+    weights = np.arange(1, bits.shape[1] + 1, dtype=np.float64)
+    return -(bits @ weights) - offset
 
 
 class TestSplitRange:
@@ -146,6 +153,41 @@ class TestParallelPrecompute:
         vals = evaluate_chunk(chunk, partial(maxcut_values, graph8), 8)
         expected = maxcut_values(graph8, state_matrix(8))[10:20]
         assert np.allclose(vals, expected)
+
+    def test_compress_chunk_empty_is_none_not_phantom_state(self, graph8):
+        # Regression: an empty chunk used to come back as a value-0.0
+        # single-state "sentinel" spectrum that merge() folded in as real.
+        empty = Chunk(index=0, start=7, stop=7)
+        assert _compress_chunk(empty, partial(maxcut_values, graph8), 8) is None
+
+    @pytest.mark.parametrize("processes", [7, 64])
+    def test_parallel_compress_matches_serial_with_excess_processes(self, processes):
+        # processes > number of feasible states is the regime that produces
+        # empty chunks; the merged spectrum must still agree exactly with the
+        # serial path — including for all-negative objectives, where the old
+        # phantom 0.0 state became the reported optimum.
+        n, k = 4, 2  # comb(4, 2) = 6 feasible states
+        space = DickeSpace(n, k)
+        cost = partial(_negated_weight_cost, offset=5.0)
+        expected = compress_objective(cost(space.bits))
+        spec = parallel_compress(cost, n, k=k, processes=processes)
+        assert np.array_equal(spec.values, expected.values)
+        assert spec.degeneracies == expected.degeneracies
+        assert spec.total == expected.total == 6
+        assert spec.optimum == expected.optimum < 0
+        assert spec.mean() == pytest.approx(expected.mean())
+
+    def test_parallel_objective_values_with_excess_processes(self, graph8):
+        space = DickeSpace(8, 1)  # 8 states, far fewer than workers
+        expected = maxcut_values(graph8, space.bits)
+        values = parallel_objective_values(partial(maxcut_values, graph8), 8, k=1, processes=32)
+        assert np.allclose(values, expected)
+
+    def test_parallel_compress_empty_space_raises_cleanly(self, graph8):
+        # comb(4, 5) = 0 feasible states: a clear ValueError mirroring the
+        # CompressedObjective contract, not a bare IndexError on pieces[0].
+        with pytest.raises(ValueError, match="at least one value"):
+            parallel_compress(partial(maxcut_values, graph8), 4, k=5, processes=4)
 
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")

@@ -1,0 +1,256 @@
+"""Tests for the cross-process advisory file lock behind the run store."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.io.locking import FileLock, LockTimeout, locking_backend
+
+
+def _get_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def _noop() -> None:
+    pass
+
+
+class TestBasics:
+    def test_backend_detected(self):
+        assert locking_backend() in ("fcntl", "msvcrt", "mkfile")
+
+    def test_acquire_release(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        assert not lock.is_held
+        lock.acquire()
+        assert lock.is_held
+        lock.release()
+        assert not lock.is_held
+
+    def test_context_manager(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.is_held
+        assert not lock.is_held
+
+    def test_reentrant_within_one_object(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            with lock:  # a helper taking an optional lock re-enters here
+                assert lock.is_held
+            assert lock.is_held  # inner exit must not drop the OS lock
+        assert not lock.is_held
+
+    def test_creates_parent_directory(self, tmp_path):
+        with FileLock(tmp_path / "deep" / "nested" / "x.lock"):
+            pass
+
+    def test_release_unheld_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unheld"):
+            FileLock(tmp_path / "x.lock").release()
+
+    def test_owner_metadata_written(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            assert f"pid={os.getpid()}" in path.read_text(encoding="utf-8")
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            FileLock(tmp_path / "x.lock", backend="flocktopus")
+
+
+class TestContention:
+    def test_second_holder_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            contender = FileLock(path, poll_interval=0.005)
+            with pytest.raises(LockTimeout, match="could not acquire"):
+                contender.acquire(timeout=0.1)
+
+    def test_acquire_after_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path)
+        first.acquire()
+        first.release()
+        with FileLock(path, poll_interval=0.005) as second:
+            assert second.is_held
+
+    def test_cross_thread_reentry_raises(self, tmp_path):
+        # The reentrancy counter owns the OS lock, not the thread: a second
+        # thread re-entering the same object must fail loudly, not silently
+        # join the critical section.
+        lock = FileLock(tmp_path / "x.lock")
+        errors: list[Exception] = []
+
+        def other_thread():
+            try:
+                lock.acquire(timeout=0.1)
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        with lock:
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert len(errors) == 1
+        assert isinstance(errors[0], RuntimeError)
+        assert "not shareable across threads" in str(errors[0])
+
+
+class TestMkfileFallback:
+    """The O_EXCL last-resort backend, forced explicitly so it runs everywhere."""
+
+    def test_mutual_exclusion_and_release_unlinks(self, tmp_path):
+        path = tmp_path / "x.lock"
+        lock = FileLock(path, backend="mkfile")
+        with lock:
+            contender = FileLock(path, backend="mkfile", poll_interval=0.005)
+            with pytest.raises(LockTimeout):
+                contender.acquire(timeout=0.05)
+        assert not path.exists()  # mkfile release removes the lock file
+        with FileLock(path, backend="mkfile"):
+            pass
+
+    def test_stale_lock_of_dead_pid_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        ctx = _get_context()
+        child = ctx.Process(target=_noop)
+        child.start()
+        child.join()  # reaped: its PID is (very likely) dead now
+        path.write_text(
+            f"pid={child.pid} host={socket.gethostname()} acquired=crashed\n",
+            encoding="utf-8",
+        )
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=1e6)
+        with pytest.warns(RuntimeWarning, match="stale lock"):
+            lock.acquire(timeout=2.0)
+        assert lock.is_held
+        lock.release()
+
+    def test_stale_lock_by_mtime_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("pid=not-parsable\n", encoding="utf-8")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=60.0)
+        with pytest.warns(RuntimeWarning, match="stale lock"):
+            lock.acquire(timeout=2.0)
+        assert lock.is_held
+        lock.release()
+
+    def test_break_mutex_blocks_second_breaker(self, tmp_path):
+        # While another waiter holds the break mutex, a stale lock must not be
+        # unlinked by us — that's the TOCTOU window where a slower breaker
+        # could delete a lock the faster one already broke and re-acquired.
+        path = tmp_path / "x.lock"
+        path.write_text("pid=not-parsable\n", encoding="utf-8")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        (tmp_path / "x.lock.break").write_text("", encoding="utf-8")  # fresh mutex
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=60.0)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+        assert path.exists()  # the stale lock was left alone
+
+    def test_abandoned_break_mutex_is_cleared(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("pid=not-parsable\n", encoding="utf-8")
+        breaker = tmp_path / "x.lock.break"
+        breaker.write_text("", encoding="utf-8")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        os.utime(breaker, (old, old))  # breaker died mid-break long ago
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=60.0)
+        with pytest.warns(RuntimeWarning, match="stale lock"):
+            lock.acquire(timeout=2.0)
+        assert lock.is_held
+        lock.release()
+        assert not breaker.exists()
+
+    def test_live_fresh_lock_is_respected(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(
+            f"pid={os.getpid()} host={socket.gethostname()} acquired=now\n", encoding="utf-8"
+        )
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=1e6)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+
+    def test_live_owner_survives_ancient_mtime(self, tmp_path):
+        # A same-host owner that probes alive may be deep in a long critical
+        # section: however old the lock file, it must not be mtime-broken.
+        path = tmp_path / "x.lock"
+        path.write_text(
+            f"pid={os.getpid()} host={socket.gethostname()} acquired=long-ago\n",
+            encoding="utf-8",
+        )
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=60.0)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+        assert path.exists()
+
+    def test_foreign_host_pid_is_not_probed(self, tmp_path):
+        # A PID recorded by another machine means nothing in our process
+        # table; only the mtime test may break such a lock.
+        path = tmp_path / "x.lock"
+        path.write_text("pid=999999 host=some-other-machine\n", encoding="utf-8")
+        lock = FileLock(path, backend="mkfile", poll_interval=0.005, stale_timeout=1e6)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+        assert path.exists()
+
+    def test_release_after_stale_break_spares_new_owner(self, tmp_path):
+        # Owner A stalls, waiter B breaks A's stale lock and acquires; A's
+        # late release() must not delete B's live lock file.
+        path = tmp_path / "x.lock"
+        a = FileLock(path, backend="mkfile", stale_timeout=1e6)
+        a.acquire()
+        path.unlink()  # simulate B having broken A's stale lock ...
+        b = FileLock(path, backend="mkfile", stale_timeout=1e6)
+        b.acquire()  # ... and re-acquired it
+        a.release()
+        assert path.exists(), "A's release deleted B's live lock"
+        b.release()
+        assert not path.exists()
+
+
+def _hammer_counter(path_str: str, lock_path_str: str, iterations: int) -> None:
+    lock = FileLock(lock_path_str, poll_interval=0.001)
+    for _ in range(iterations):
+        with lock:
+            value = int(open(path_str, encoding="utf-8").read())
+            # Widen the race window: without the lock, concurrent
+            # read-increment-write reliably loses updates here.
+            time.sleep(0.0005)
+            with open(path_str, "w", encoding="utf-8") as handle:
+                handle.write(str(value + 1))
+
+
+class TestCrossProcess:
+    def test_lock_serializes_read_modify_write(self, tmp_path):
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0", encoding="utf-8")
+        lock_path = tmp_path / "counter.lock"
+        ctx = _get_context()
+        workers, iterations = 4, 10
+        procs = [
+            ctx.Process(target=_hammer_counter, args=(str(counter), str(lock_path), iterations))
+            for _ in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert int(counter.read_text(encoding="utf-8")) == workers * iterations
