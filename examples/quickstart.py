@@ -1,8 +1,10 @@
-"""Quickstart: MaxCut QAOA on a random graph (the paper's Listing 1).
+"""Quickstart: MaxCut QAOA two ways.
 
-Pre-compute the objective values over all basis states, build the
-transverse-field mixer, simulate a 3-round QAOA at random angles, and inspect
-the result object.
+First the declarative facade — one ``repro.solve()`` call runs the paper's
+whole toolchain (problem generation, objective pre-computation, mixer
+construction, angle finding, final simulation).  Then the same QAOA assembled
+by hand from the low-level pieces (the paper's Listing 1), which is exactly
+what ``solve()`` composes under the hood.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,12 +19,41 @@ from repro import (
     maxcut,
     mixer_x,
     simulate,
+    solve,
     states,
 )
 
 
-def main() -> None:
-    # --- problem setup (Listing 1 of the paper) ---------------------------
+def facade() -> None:
+    """One declarative call: problem x mixer x strategy by name."""
+    result = solve(
+        problem="maxcut",
+        n=6,
+        problem_seed=1,
+        mixer="x",                       # transverse-field mixer
+        strategy="random",               # random-restart BFGS (batched adjoint path)
+        strategy_params={"iters": 10},
+        p=3,
+        seed=0,
+    )
+    print("— solve() facade —")
+    print(f"optimal cut value      : {result.optimum:.0f}")
+    print(f"best <C> found         : {result.value:.4f}")
+    print(f"approximation ratio    : {result.approximation_ratio:.4f}")
+    print(f"P(optimal state)       : {result.ground_state_probability:.4f}")
+    print(f"strategy / evaluations : {result.strategy} / {result.evaluations}")
+
+    # Sampling measurement outcomes from the final state.
+    samples = result.sample(shots=5, rng=0)
+    print(f"measured bitstrings    : {[format(int(s), '06b') for s in samples]}")
+
+    # Specs round-trip through JSON, so a solve can be stored and re-run
+    # bit-for-bit (this is what `repro run solve` sweep grids are made of).
+    print(f"spec                   : {result.spec.to_json()}")
+
+
+def under_the_hood() -> None:
+    """The same QAOA from the low-level pieces (the paper's Listing 1)."""
     n = 6
     graph = erdos_renyi(n, 0.5, seed=1)
 
@@ -34,24 +65,22 @@ def main() -> None:
     # terms"; mixer_x([1, 2], n) would add all two-body X products, etc.
     mixer = mixer_x([1], n)
 
-    # --- simulate a p-round QAOA ------------------------------------------
+    # Simulate a p-round QAOA at random angles (betas first, then gammas).
     p = 3
     rng = np.random.default_rng(0)
-    angles = 2 * np.pi * rng.random(2 * p)  # betas first, then gammas
+    angles = 2 * np.pi * rng.random(2 * p)
 
     res = simulate(angles, mixer, obj_vals)
-    exp_value = get_exp_value(res)
-
+    print("\n— under the hood (Listing 1) —")
     print(f"graph edges            : {graph.number_of_edges()}")
-    print(f"optimal cut value      : {obj_vals.max():.0f}")
-    print(f"<C> at random angles   : {exp_value:.4f}")
+    print(f"<C> at random angles   : {get_exp_value(res):.4f}")
     print(f"approximation ratio    : {res.approximation_ratio():.4f}")
-    print(f"P(optimal state)       : {res.ground_state_probability():.4f}")
     print(f"statevector norm       : {res.norm():.12f}")
 
-    # Sampling measurement outcomes from the final state.
-    samples = res.sample(shots=10, rng=0)
-    print(f"ten measured bitstrings: {[format(int(s), f'0{n}b') for s in samples]}")
+
+def main() -> None:
+    facade()
+    under_the_hood()
 
 
 if __name__ == "__main__":

@@ -6,7 +6,14 @@ unconstrained and Dicke-subspace (constrained) simulation, Grover-mixer
 compression, analytic gradients and a robust angle-finding outer loop, plus
 circuit-simulator baselines used by the paper's performance comparisons.
 
-Quickstart (mirrors the paper's Listing 1)::
+Quickstart — the declarative facade::
+
+    from repro import solve
+
+    result = solve(problem="maxcut", n=8, mixer="x", strategy="random", p=3)
+    print(result.value, result.approximation_ratio)
+
+Under the hood (mirrors the paper's Listing 1)::
 
     import numpy as np
     from repro import maxcut, maxcut_values, erdos_renyi, state_matrix
@@ -22,6 +29,21 @@ Quickstart (mirrors the paper's Listing 1)::
     exp_value = get_exp_value(res)
 """
 
+from .api import (
+    MIXER_NAMES,
+    MIXERS,
+    STRATEGIES,
+    STRATEGY_NAMES,
+    AngleStrategy,
+    MixerSpec,
+    ProblemSpec,
+    QAOASolver,
+    SolveResult,
+    SolveSpec,
+    StrategySpec,
+    make_mixer,
+    solve,
+)
 from .core import (
     BatchedWorkspace,
     EvaluationCounter,
@@ -64,6 +86,7 @@ from .mixers import (
     transverse_field_mixer,
 )
 from .problems import (
+    PROBLEM_NAMES,
     ProblemInstance,
     densest_subgraph,
     densest_subgraph_values,
@@ -78,9 +101,22 @@ from .problems import (
     vertex_cover_values,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "MIXER_NAMES",
+    "MIXERS",
+    "STRATEGIES",
+    "STRATEGY_NAMES",
+    "AngleStrategy",
+    "MixerSpec",
+    "ProblemSpec",
+    "QAOASolver",
+    "SolveResult",
+    "SolveSpec",
+    "StrategySpec",
+    "make_mixer",
+    "solve",
     "BatchedWorkspace",
     "EvaluationCounter",
     "PrecomputedCost",
@@ -116,6 +152,7 @@ __all__ = [
     "mixer_ring",
     "mixer_x",
     "transverse_field_mixer",
+    "PROBLEM_NAMES",
     "ProblemInstance",
     "densest_subgraph",
     "densest_subgraph_values",

@@ -131,11 +131,14 @@ def find_angles_random(
         if i in refine:
             result = refined[i]
         else:
+            # Unrefined seeds only exist on the pruned path, where every seed
+            # was batch-scored — that one expectation evaluation is the cost
+            # this result carries.
             result = AngleResult(
                 angles=seeds[i].copy(),
                 value=float(seed_values[i]),
                 p=ansatz.p,
-                evaluations=0,
+                evaluations=1,
                 strategy="random-seed",
             )
         all_results.append(result)

@@ -1,0 +1,45 @@
+"""Declarative solver facade: specs, registries, and ``solve()``.
+
+The public surface of the paper's end-to-end toolchain as one call::
+
+    from repro import solve
+    result = solve(problem="maxcut", n=8, mixer="x", strategy="random", p=3)
+
+Specs (:class:`SolveSpec` and its parts) are JSON-round-trippable, the mixer
+and strategy registries resolve names case-insensitively, and every
+registered strategy returns a normalized
+:class:`~repro.angles.result.AngleResult` through the :class:`AngleStrategy`
+protocol.
+"""
+
+from .mixers import MIXER_NAMES, MIXERS, make_mixer
+from .registry import Registry, RegistryError
+from .solver import QAOASolver, SolveResult, solve
+from .spec import MixerSpec, ProblemSpec, SolveSpec, StrategySpec
+from .strategies import (
+    STRATEGIES,
+    STRATEGY_NAMES,
+    AngleStrategy,
+    find_strategy,
+    run_strategy,
+)
+
+__all__ = [
+    "MIXER_NAMES",
+    "MIXERS",
+    "make_mixer",
+    "Registry",
+    "RegistryError",
+    "QAOASolver",
+    "SolveResult",
+    "solve",
+    "MixerSpec",
+    "ProblemSpec",
+    "SolveSpec",
+    "StrategySpec",
+    "STRATEGIES",
+    "STRATEGY_NAMES",
+    "AngleStrategy",
+    "find_strategy",
+    "run_strategy",
+]

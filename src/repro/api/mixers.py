@@ -1,0 +1,114 @@
+"""Name-based mixer registry.
+
+Maps the mixer family names usable in a :class:`~repro.api.spec.MixerSpec`
+to factory functions.  Every factory takes the *feasible space* of the
+problem being solved (mixers must act on the same space the objective values
+were pre-computed over) plus family-specific keyword parameters, and returns
+a ready :class:`~repro.mixers.base.Mixer`.
+
+Unconstrained families (``"x"``, ``"multiangle_x"``) require the full
+hypercube; the XY families (``"ring"``, ``"clique"``, ``"xy"``) require a
+Hamming-weight (Dicke) subspace; ``"grover"`` works on any space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..hilbert.subspace import FeasibleSpace
+from ..mixers.base import Mixer
+from ..mixers.grover import GroverMixer
+from ..mixers.xmixer import MultiAngleXMixer, mixer_x
+from ..mixers.xy import CliqueMixer, RingMixer, XYMixer
+from .registry import Registry, is_binding_error
+
+__all__ = ["MIXERS", "MIXER_NAMES", "make_mixer"]
+
+MixerFactory = Callable[..., Mixer]
+
+MIXERS: Registry[MixerFactory] = Registry("mixer")
+
+
+def _require_full(space: FeasibleSpace, name: str) -> int:
+    if not space.is_full:
+        raise ValueError(
+            f"mixer {name!r} acts on the full 2^n space, but the problem is "
+            f"constrained to {space.name!r}; use one of the constrained mixers "
+            "('ring', 'clique', 'xy', 'grover') instead"
+        )
+    return space.n
+
+
+def _require_dicke(space: FeasibleSpace, name: str) -> tuple[int, int]:
+    if space.hamming_weight is None:
+        raise ValueError(
+            f"mixer {name!r} conserves Hamming weight and needs a Dicke-subspace "
+            f"problem (space {space.name!r} has no fixed Hamming weight); use an "
+            "unconstrained mixer ('x', 'multiangle_x', 'grover') instead"
+        )
+    return space.n, int(space.hamming_weight)
+
+
+@MIXERS.register("x", "transverse_field")
+def _make_x(space: FeasibleSpace, *, orders=(1,), coefficients=None) -> Mixer:
+    """Products-of-X mixer; ``orders=[1]`` is the transverse field ``sum_i X_i``."""
+    n = _require_full(space, "x")
+    return mixer_x(list(orders), n, coefficients)
+
+
+@MIXERS.register("multiangle_x", "multiangle")
+def _make_multiangle_x(space: FeasibleSpace, *, terms=None) -> Mixer:
+    """Multi-angle X mixer; default terms are the single-qubit ``X_i``."""
+    n = _require_full(space, "multiangle_x")
+    if terms is None:
+        terms = [(i,) for i in range(n)]
+    return MultiAngleXMixer(n, [tuple(term) for term in terms])
+
+
+@MIXERS.register("ring")
+def _make_ring(space: FeasibleSpace, *, file=None) -> Mixer:
+    """Nearest-neighbour XY Ring mixer on the problem's Dicke subspace."""
+    n, k = _require_dicke(space, "ring")
+    return RingMixer(n, k, file=file)
+
+
+@MIXERS.register("clique")
+def _make_clique(space: FeasibleSpace, *, file=None) -> Mixer:
+    """All-pairs XY Clique mixer on the problem's Dicke subspace."""
+    n, k = _require_dicke(space, "clique")
+    return CliqueMixer(n, k, file=file)
+
+
+@MIXERS.register("xy")
+def _make_xy(space: FeasibleSpace, *, pairs, file=None) -> Mixer:
+    """General XY mixer over an explicit interaction-pair list."""
+    n, k = _require_dicke(space, "xy")
+    return XYMixer(n, k, [tuple(pair) for pair in pairs], name="xy", file=file)
+
+
+@MIXERS.register("grover")
+def _make_grover(space: FeasibleSpace) -> Mixer:
+    """Rank-one Grover mixer over the feasible space's uniform superposition."""
+    return GroverMixer(space)
+
+
+#: Canonical mixer family names, in registration order.
+MIXER_NAMES = MIXERS.names()
+
+
+def make_mixer(name: str, space: FeasibleSpace, **params) -> Mixer:
+    """Build a registered mixer family over ``space``.
+
+    Raises a ``ValueError`` listing the known families for an unknown
+    ``name`` (lookup is case-insensitive), and a ``ValueError`` explaining
+    the mismatch when the family cannot act on ``space``.
+    """
+    factory = MIXERS.get(name)
+    try:
+        return factory(space, **params)
+    except TypeError as exc:
+        if not is_binding_error(exc):
+            raise  # a genuine TypeError from inside the factory, not bad params
+        raise ValueError(
+            f"bad parameters for mixer {MIXERS.canonical(name)!r}: {exc}"
+        ) from exc

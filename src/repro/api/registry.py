@@ -1,0 +1,112 @@
+"""Generic name-based registries.
+
+The declarative :func:`repro.api.solve` facade resolves every component of a
+:class:`~repro.api.spec.SolveSpec` — mixer family, angle strategy — through a
+:class:`Registry`: a small, ordered mapping from canonical names (plus
+aliases) to factory callables.  Lookups are case-insensitive and unknown
+names fail with the sorted list of canonical choices, so a typo in a spec or
+on the command line is a one-line diagnosis instead of a KeyError deep in a
+sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+__all__ = ["Registry", "RegistryError", "is_binding_error"]
+
+T = TypeVar("T")
+
+#: Message fragments CPython uses for call-binding TypeErrors.  Used to tell
+#: "you passed a bad parameter name" apart from a genuine TypeError raised
+#: inside a factory/strategy body, which must propagate with its traceback.
+_BINDING_ERROR_MARKERS = (
+    "unexpected keyword argument",
+    "required keyword-only argument",
+    "required positional argument",
+    "multiple values for argument",
+    "positional arguments but",
+)
+
+
+def is_binding_error(exc: TypeError) -> bool:
+    """Whether ``exc`` looks like a bad-call-signature TypeError."""
+    message = str(exc)
+    return any(marker in message for marker in _BINDING_ERROR_MARKERS)
+
+
+class RegistryError(ValueError):
+    """Unknown or duplicate name in a :class:`Registry` (a ``ValueError``)."""
+
+
+class Registry(Generic[T]):
+    """An ordered, case-insensitive mapping from names to registered objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what is registered (``"mixer"``,
+        ``"angle strategy"``); used in error messages.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, T] = {}  # canonical name -> object
+        self._aliases: dict[str, str] = {}  # lowercase name/alias -> canonical
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, *aliases: str) -> Callable[[T], T]:
+        """Decorator registering an object under ``name`` (plus ``aliases``)."""
+
+        def decorator(obj: T) -> T:
+            self.add(name, obj, *aliases)
+            return obj
+
+        return decorator
+
+    def add(self, name: str, obj: T, *aliases: str) -> None:
+        """Register ``obj`` under ``name`` and any number of aliases."""
+        for key in (name, *aliases):
+            lowered = key.lower()
+            if lowered in self._aliases:
+                raise RegistryError(
+                    f"{self.kind} name {key!r} is already registered "
+                    f"(for {self._aliases[lowered]!r})"
+                )
+        self._entries[name] = obj
+        for key in (name, *aliases):
+            self._aliases[key.lower()] = name
+
+    # ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (case-insensitive, alias-aware) to its canonical form."""
+        try:
+            return self._aliases[str(name).lower()]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; choose from {sorted(self._entries)}"
+            ) from None
+
+    def get(self, name: str) -> T:
+        """Look up a registered object by name or alias (case-insensitive)."""
+        return self._entries[self.canonical(name)]
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._entries)
+
+    def items(self) -> tuple[tuple[str, T], ...]:
+        """``(canonical name, object)`` pairs in registration order."""
+        return tuple(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, names={list(self._entries)})"

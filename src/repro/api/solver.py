@@ -1,0 +1,207 @@
+"""The unified solver facade: ``solve(spec)`` / :class:`QAOASolver`.
+
+One call runs the paper's whole toolchain — regenerate the problem instance,
+pre-compute its objective values, build the mixer over the feasible space,
+hand the ansatz to a registered angle strategy, and simulate the best angles
+— returning a rich :class:`SolveResult`.  The fast paths land automatically:
+strategies ride the batched evaluation engine (PR 1) and the batched
+adjoint-gradient / vectorized multi-start engine (PR 3) through the shared
+:class:`~repro.core.ansatz.QAOAAnsatz` workspaces.
+
+The existing free functions (``simulate``, ``grid_search``,
+``find_angles_random``, ...) remain the low-level layer; ``solve`` is a thin,
+declarative composition of them, which is what makes spec-for-spec
+equivalence with the legacy calls testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..angles.result import AngleResult
+from ..core.ansatz import QAOAAnsatz
+from ..core.simulator import QAOAResult
+from ..mixers.base import Mixer
+from ..problems.registry import ProblemInstance, make_problem
+from .mixers import MIXERS, make_mixer
+from .spec import SolveSpec
+from .strategies import run_strategy
+
+__all__ = ["SolveResult", "QAOASolver", "solve"]
+
+
+@dataclass
+class SolveResult:
+    """Everything one spec-driven solve produced.
+
+    Attributes
+    ----------
+    spec:
+        The exact :class:`~repro.api.spec.SolveSpec` that was run.
+    angles:
+        Best flat angle vector found (betas then gammas).
+    value:
+        Expectation value ``<C>`` at those angles.
+    optimum:
+        Brute-force optimum over the feasible space.
+    approximation_ratio:
+        ``value / optimum``, or ``None`` when the optimum is not positive
+        (where the ratio is meaningless).
+    ground_state_probability:
+        Total probability of sampling an optimal state at the best angles.
+    evaluations:
+        Expectation/gradient evaluations the strategy spent.
+    strategy:
+        Canonical name of the strategy that produced the angles.
+    wall_time_s:
+        Wall-clock seconds for the angle search plus the final simulation.
+    angle_result:
+        The strategy's full normalized :class:`AngleResult` (history included).
+    simulation:
+        The :class:`~repro.core.simulator.QAOAResult` at the best angles
+        (sampling probabilities, amplitudes, ...).
+    """
+
+    spec: SolveSpec
+    angles: np.ndarray
+    value: float
+    optimum: float
+    approximation_ratio: float | None
+    ground_state_probability: float
+    evaluations: int
+    strategy: str
+    wall_time_s: float
+    angle_result: AngleResult = field(repr=False)
+    simulation: QAOAResult = field(repr=False)
+
+    def probabilities(self) -> np.ndarray:
+        """Sampling probabilities over the feasible space at the best angles."""
+        return self.simulation.probabilities()
+
+    def sample(self, shots: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw measurement outcomes from the final state."""
+        return self.simulation.sample(shots, rng=rng)
+
+    def to_row(self) -> dict:
+        """Flat JSON-serializable summary row (what sweeps store per solve).
+
+        Component names are canonicalized (case variants of one family must
+        group together downstream) and params are carried along, so rows from
+        specs differing only in params stay distinguishable in a run store.
+        """
+        mixer_name = self.spec.mixer.name
+        if mixer_name in MIXERS:
+            mixer_name = MIXERS.canonical(mixer_name)
+        return {
+            "problem": self.spec.problem.name.lower(),
+            "n": self.spec.problem.n,
+            "problem_seed": self.spec.problem.seed,
+            "problem_params": dict(self.spec.problem.params),
+            "mixer": mixer_name,
+            "mixer_params": dict(self.spec.mixer.params),
+            "strategy": self.strategy,
+            "strategy_params": dict(self.spec.strategy.params),
+            "p": self.spec.p,
+            "seed": self.spec.seed,
+            "value": float(self.value),
+            "optimum": float(self.optimum),
+            "approximation_ratio": (
+                None if self.approximation_ratio is None else float(self.approximation_ratio)
+            ),
+            "ground_state_probability": float(self.ground_state_probability),
+            "evaluations": int(self.evaluations),
+            "angles": [float(a) for a in self.angles],
+            "wall_time_s": float(self.wall_time_s),
+        }
+
+
+class QAOASolver:
+    """A :class:`SolveSpec` resolved into live objects, ready to run.
+
+    Construction regenerates the problem instance, pre-computes its objective
+    values and builds the mixer; :meth:`run` executes the angle strategy and
+    final simulation.  Keep the solver around to re-run the same spec with
+    different seeds (the expensive pre-computation is reused)::
+
+        solver = QAOASolver(spec)
+        results = [solver.run(seed=s) for s in range(10)]
+    """
+
+    def __init__(self, spec: SolveSpec | Mapping[str, Any]):
+        if not isinstance(spec, SolveSpec):
+            spec = SolveSpec.from_dict(spec)
+        self.spec = spec
+        self.problem: ProblemInstance = make_problem(
+            spec.problem.name,
+            spec.problem.n,
+            seed=spec.problem.seed,
+            **spec.problem.params,
+        )
+        self.mixer: Mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
+        self.ansatz: QAOAAnsatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
+
+    def find_angles(self, *, seed: int | None = None) -> AngleResult:
+        """Run just the angle strategy (``seed`` overrides the spec's)."""
+        rng_seed = self.spec.seed if seed is None else seed
+        return run_strategy(
+            self.spec.strategy.name,
+            self.ansatz,
+            rng=np.random.default_rng(rng_seed),
+            **self.spec.strategy.params,
+        )
+
+    def run(self, *, seed: int | None = None) -> SolveResult:
+        """Full solve: angle search, final simulation, metrics."""
+        started = time.perf_counter()
+        angle_result = self.find_angles(seed=seed)
+        simulation = self.ansatz.simulate(angle_result.angles)
+        wall_time = time.perf_counter() - started
+
+        optimum = self.problem.optimum()
+        ratio = float(angle_result.value) / optimum if optimum > 0 else None
+        spec = self.spec
+        if seed is not None and seed != spec.seed:
+            spec = SolveSpec(
+                problem=spec.problem,
+                mixer=spec.mixer,
+                strategy=spec.strategy,
+                p=spec.p,
+                seed=seed,
+            )
+        return SolveResult(
+            spec=spec,
+            angles=angle_result.angles,
+            value=float(angle_result.value),
+            optimum=optimum,
+            approximation_ratio=ratio,
+            ground_state_probability=simulation.ground_state_probability(),
+            evaluations=int(angle_result.evaluations),
+            strategy=angle_result.strategy,
+            wall_time_s=wall_time,
+            angle_result=angle_result,
+            simulation=simulation,
+        )
+
+
+def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveResult:
+    """Run one declarative QAOA solve.
+
+    Either pass a ready :class:`SolveSpec` (or its dict form)::
+
+        result = solve(SolveSpec(problem=ProblemSpec("maxcut", 8), mixer="x",
+                                 strategy="random", p=3, seed=0))
+
+    or use the flat keyword form, which builds the spec via
+    :meth:`SolveSpec.build`::
+
+        result = solve(problem="maxcut", n=8, mixer="x", strategy="random", p=3)
+    """
+    if spec is None:
+        spec = SolveSpec.build(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a spec or keyword arguments, not both")
+    return QAOASolver(spec).run()

@@ -1,0 +1,210 @@
+"""Declarative solve specifications with lossless JSON round-trips.
+
+A :class:`SolveSpec` is the single serializable description of one QAOA solve:
+*what* problem instance (:class:`ProblemSpec`), *which* mixer family
+(:class:`MixerSpec`), *how* to find angles (:class:`StrategySpec`), plus the
+round count and the RNG seed the strategy consumes.  Specs are plain data —
+every field is JSON-serializable — so a spec can be stored in a run-store
+manifest, shipped to a worker process, or diffed between runs, and
+``from_json(to_json(spec))`` reproduces the exact same solve seed-for-seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ProblemSpec", "MixerSpec", "StrategySpec", "SolveSpec"]
+
+
+def _freeze_params(params: Mapping[str, Any] | None) -> dict:
+    """Copy ``params`` into a plain dict, rejecting non-JSON-serializable values."""
+    out = dict(params or {})
+    try:
+        json.dumps(out)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"spec params must be JSON-serializable: {exc}") from exc
+    return out
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """A named problem family plus everything needed to regenerate the instance.
+
+    ``name``/``n``/``seed`` feed :func:`repro.problems.make_problem`;
+    ``params`` holds the family's extra keyword arguments (``k``,
+    ``edge_probability``, ``clause_density``, ``penalty``, ...).
+    """
+
+    name: str
+    n: int
+    seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        object.__setattr__(self, "n", int(self.n))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        if self.n < 1:
+            raise ValueError("a problem needs at least one qubit")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "n": self.n, "seed": self.seed, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProblemSpec":
+        return cls(
+            name=data["name"],
+            n=data["n"],
+            seed=data.get("seed", 0),
+            params=data.get("params", {}),
+        )
+
+
+@dataclass(frozen=True)
+class MixerSpec:
+    """A named mixer family (resolved against the problem's feasible space).
+
+    ``params`` holds family-specific options (``orders`` for ``"x"``,
+    ``terms`` for ``"multiangle_x"``, ``pairs`` for ``"xy"``, ...).
+    """
+
+    name: str = "x"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MixerSpec":
+        return cls(name=data["name"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A named angle-finding strategy plus its effort knobs.
+
+    ``params`` are forwarded to the registered strategy adapter (``iters``,
+    ``resolution``, ``n_hops``, ``maxiter``, ...).
+    """
+
+    name: str = "random"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StrategySpec":
+        return cls(name=data["name"], params=data.get("params", {}))
+
+
+def _coerce(value, spec_cls):
+    """Accept a spec instance, a ``{"name": ...}`` dict, or a bare name string."""
+    if isinstance(value, spec_cls):
+        return value
+    if isinstance(value, Mapping):
+        return spec_cls.from_dict(value)
+    if isinstance(value, str):
+        return spec_cls(name=value)
+    raise TypeError(
+        f"expected {spec_cls.__name__}, mapping or name string, got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """One complete, serializable QAOA solve: problem x mixer x strategy.
+
+    Attributes
+    ----------
+    problem:
+        The :class:`ProblemSpec` (or a mapping coerced into one).
+    mixer, strategy:
+        :class:`MixerSpec` / :class:`StrategySpec`; bare name strings and
+        mappings are coerced, so ``SolveSpec(problem=..., mixer="grover",
+        strategy="basinhop")`` works.
+    p:
+        Number of QAOA rounds.
+    seed:
+        Seed of the RNG handed to the angle strategy (the *only* source of
+        randomness in a solve, which is what makes specs reproducible).
+    """
+
+    problem: ProblemSpec
+    mixer: MixerSpec = field(default_factory=MixerSpec)
+    strategy: StrategySpec = field(default_factory=StrategySpec)
+    p: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problem", _coerce(self.problem, ProblemSpec))
+        object.__setattr__(self, "mixer", _coerce(self.mixer, MixerSpec))
+        object.__setattr__(self, "strategy", _coerce(self.strategy, StrategySpec))
+        object.__setattr__(self, "p", int(self.p))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.p < 1:
+            raise ValueError("a QAOA needs at least one round")
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        problem: str,
+        n: int,
+        *,
+        problem_seed: int = 0,
+        problem_params: Mapping[str, Any] | None = None,
+        mixer: str = "x",
+        mixer_params: Mapping[str, Any] | None = None,
+        strategy: str = "random",
+        strategy_params: Mapping[str, Any] | None = None,
+        p: int = 1,
+        seed: int = 0,
+    ) -> "SolveSpec":
+        """Flat-keyword constructor (what ``solve(problem=..., n=...)`` uses)."""
+        return cls(
+            problem=ProblemSpec(problem, n, seed=problem_seed, params=problem_params or {}),
+            mixer=MixerSpec(mixer, params=mixer_params or {}),
+            strategy=StrategySpec(strategy, params=strategy_params or {}),
+            p=p,
+            seed=seed,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem.to_dict(),
+            "mixer": self.mixer.to_dict(),
+            "strategy": self.strategy.to_dict(),
+            "p": self.p,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
+        return cls(
+            problem=ProblemSpec.from_dict(data["problem"]),
+            mixer=MixerSpec.from_dict(data.get("mixer", {"name": "x"})),
+            strategy=StrategySpec.from_dict(data.get("strategy", {"name": "random"})),
+            p=data.get("p", 1),
+            seed=data.get("seed", 0),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Lossless JSON form: ``SolveSpec.from_json(spec.to_json()) == spec``."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveSpec":
+        return cls.from_dict(json.loads(text))

@@ -16,6 +16,14 @@ Commands
     appends to its own ``--writer-id`` row segment and manifest updates are
     serialized by a cross-process lock).
 
+``repro solve``
+    Run one declarative solve — problem x mixer x strategy from the name
+    registries — and print (or ``--json``-dump) the result row.  Accepts
+    either flat flags (``--problem maxcut --mixer x --strategy random --p 3``)
+    or a full spec document via ``--spec spec.json``.  For *grids* of specs,
+    use ``repro run solve`` instead, which shards and resumes through a run
+    store like any other experiment.
+
 ``repro status``
     Summarize every run store under ``--out`` (tasks completed, rows, state).
 
@@ -30,6 +38,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+import numpy as np
 
 from .bench.figures import format_rows
 from .experiments.runner import run_experiment, scale_env, store_directory
@@ -102,6 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh",
         action="store_true",
         help="discard any existing run store for the target experiments first",
+    )
+
+    p_solve = sub.add_parser("solve", help="run one declarative problem x mixer x strategy solve")
+    p_solve.add_argument(
+        "--spec",
+        dest="spec_path",
+        default=None,
+        metavar="PATH",
+        help="JSON SolveSpec document ('-' for stdin); overrides the flat flags",
+    )
+    p_solve.add_argument("--problem", default="maxcut", help="problem family name")
+    p_solve.add_argument("--n", type=int, default=8, help="number of qubits (default 8)")
+    p_solve.add_argument(
+        "--problem-seed", type=int, default=0, help="seed of the random problem instance"
+    )
+    p_solve.add_argument("--mixer", default="x", help="mixer family name")
+    p_solve.add_argument("--strategy", default="random", help="angle-strategy name")
+    p_solve.add_argument("--p", type=int, default=1, help="number of QAOA rounds")
+    p_solve.add_argument("--seed", type=int, default=0, help="RNG seed for the angle strategy")
+    for flag, dest, target in (
+        ("--problem-param", "problem_params", "problem"),
+        ("--mixer-param", "mixer_params", "mixer"),
+        ("--param", "strategy_params", "strategy"),
+    ):
+        p_solve.add_argument(
+            flag,
+            dest=dest,
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help=f"extra {target} parameter (JSON-decoded; repeatable)",
+        )
+    p_solve.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the result row (plus the spec) to PATH as JSON",
     )
 
     p_status = sub.add_parser("status", help="summarize run stores under --out")
@@ -244,6 +292,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .api import SolveSpec, solve
+
+    if args.spec_path is not None:
+        if args.spec_path == "-":
+            text = sys.stdin.read()
+        else:
+            try:
+                text = Path(args.spec_path).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise _CliError(f"cannot read spec file: {exc}") from exc
+        try:
+            spec = SolveSpec.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise _CliError(f"bad spec document: {exc}") from exc
+    else:
+        spec = SolveSpec.build(
+            problem=args.problem,
+            n=args.n,
+            problem_seed=args.problem_seed,
+            problem_params=_parse_overrides(args.problem_params),
+            mixer=args.mixer,
+            mixer_params=_parse_overrides(args.mixer_params),
+            strategy=args.strategy,
+            strategy_params=_parse_overrides(args.strategy_params),
+            p=args.p,
+            seed=args.seed,
+        )
+    try:
+        result = solve(spec)
+    except (TypeError, ValueError) as exc:
+        raise _CliError(str(exc)) from exc
+
+    row = result.to_row()
+    print(
+        f"{row['problem']} n={row['n']} (instance seed {row['problem_seed']}) | "
+        f"mixer={row['mixer']} strategy={row['strategy']} p={row['p']} seed={row['seed']}"
+    )
+    print(f"  <C> at best angles       : {row['value']:.6f}")
+    print(f"  optimum                  : {row['optimum']:.6f}")
+    ratio = row["approximation_ratio"]
+    print(f"  approximation ratio      : {'n/a' if ratio is None else f'{ratio:.6f}'}")
+    print(f"  P(optimal state)         : {row['ground_state_probability']:.6f}")
+    print(f"  strategy evaluations     : {row['evaluations']}")
+    print(f"  wall time                : {row['wall_time_s']:.3f}s")
+    print(f"  angles (betas, gammas)   : {np.array2string(result.angles, precision=6)}")
+    if args.json_path:
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": result.spec.to_dict(), "result": row}
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"(result written to {path})")
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     stores = _find_stores(Path(args.out))
     if not stores:
@@ -302,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "solve": _cmd_solve,
         "status": _cmd_status,
         "report": _cmd_report,
     }

@@ -102,6 +102,30 @@ class QAOAAnsatz:
         self.counter = EvaluationCounter()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem,
+        mixer: Mixer | Sequence[Mixer] | MixerSchedule,
+        p: int | None = None,
+        *,
+        initial_state: np.ndarray | None = None,
+    ) -> "QAOAAnsatz":
+        """Build an ansatz from a :class:`~repro.problems.registry.ProblemInstance`.
+
+        The problem's objective values are pre-computed over its feasible
+        space and its optimization sense is honoured — the bridge the
+        spec-driven :func:`repro.api.solve` facade uses.  ``problem`` is any
+        object with ``objective_values()``, ``space`` and ``maximize``.
+        """
+        cost = PrecomputedCost(
+            values=np.asarray(problem.objective_values(), dtype=np.float64),
+            space=problem.space,
+            maximize=problem.maximize,
+        )
+        return cls(cost, mixer, p, initial_state=initial_state, maximize=problem.maximize)
+
+    # ------------------------------------------------------------------
     @property
     def p(self) -> int:
         """Number of QAOA rounds."""

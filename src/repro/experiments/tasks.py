@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from ..api.spec import ProblemSpec, SolveSpec
 from ..bench.figures import (
     figure2_case_rows,
     figure4a_point_rows,
@@ -42,6 +43,7 @@ __all__ = [
     "get_experiment",
     "enumerate_tasks",
     "execute_task",
+    "solve_spec_rows",
 ]
 
 
@@ -168,6 +170,125 @@ def _execute_grover(kind: str, n: int, **kwargs) -> list[dict]:
 
 
 # ---------------------------------------------------------------------------
+# Spec-driven solve sweeps (arbitrary problem x mixer x strategy grids)
+# ---------------------------------------------------------------------------
+
+_SOLVE_KEYS = ("specs", "problems", "mixers", "strategies", "n", "p", "seeds")
+
+#: Default grids per scale: a tiny CI-friendly smoke grid, and a broader one.
+_SOLVE_DEFAULTS = {
+    "quick": {
+        "problems": ("maxcut",),
+        "mixers": ("x", "grover"),
+        "strategies": (
+            {"name": "random", "params": {"iters": 8}},
+            {"name": "grid", "params": {"resolution": 6}},
+        ),
+        "n": 6,
+        "p": 2,
+        "seeds": (0,),
+    },
+    "paper": {
+        "problems": ("maxcut", "ksat"),
+        "mixers": ("x", "grover"),
+        "strategies": (
+            {"name": "random", "params": {"iters": 50}},
+            {"name": "grid", "params": {"resolution": 8}},
+            {"name": "multistart", "params": {"iters": 50}},
+        ),
+        "n": 10,
+        "p": 2,
+        "seeds": (0, 1, 2),
+    },
+}
+
+
+def _solve_task_id(spec: SolveSpec) -> str:
+    return (
+        f"problem={spec.problem.name}/mixer={spec.mixer.name}/"
+        f"strategy={spec.strategy.name}/n={spec.problem.n}/p={spec.p}/seed={spec.seed}"
+    )
+
+
+def _solve_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("solve", overrides, _SOLVE_KEYS)
+    specs = params.pop("specs", None)
+    if specs is not None:
+        if params:
+            raise ValueError(
+                f"--set specs cannot be combined with grid keys ({sorted(params)}); "
+                "encode everything in the spec list"
+            )
+        resolved = [SolveSpec.from_dict(entry) for entry in specs]
+    else:
+        grid = {**_SOLVE_DEFAULTS[bench_scale()], **params}
+        n = _grid_int(grid, "n")
+        p = _grid_int(grid, "p")
+        seeds = grid["seeds"]
+        if isinstance(seeds, int):
+            seeds = (seeds,)
+        # SolveSpec's own coercion accepts bare names and {"name": ..,
+        # "params": ..} mappings for mixer/strategy entries.
+        resolved = [
+            SolveSpec(
+                problem=ProblemSpec(str(problem), n, seed=int(seed)),
+                mixer=mixer,
+                strategy=strategy,
+                p=p,
+                seed=int(seed),
+            )
+            for problem in _grid_entries(grid, "problems")
+            for mixer in _grid_entries(grid, "mixers")
+            for strategy in _grid_entries(grid, "strategies")
+            for seed in seeds
+        ]
+
+    tasks: list[RowTask] = []
+    seen: dict[str, int] = {}
+    for spec in resolved:
+        task_id = _solve_task_id(spec)
+        # Explicit spec lists may repeat a (problem, mixer, strategy, seed)
+        # summary with different params; disambiguate by occurrence index so
+        # task ids stay unique and stable in enumeration order.
+        count = seen.get(task_id, 0)
+        seen[task_id] = count + 1
+        if count:
+            task_id = f"{task_id}#{count}"
+        tasks.append(RowTask("solve", task_id, {"spec": spec.to_dict()}))
+    return tasks
+
+
+def _grid_entries(grid: dict, key: str) -> tuple:
+    """A list-valued grid key; a bare name or single mapping becomes a singleton.
+
+    ``--set problems=maxcut`` leaves a plain string in the overrides, and
+    iterating it directly would enumerate its *characters* as problem names.
+    """
+    value = grid[key]
+    if isinstance(value, (str, Mapping)):
+        return (value,)
+    return tuple(value)
+
+
+def _grid_int(grid: dict, key: str) -> int:
+    """A scalar-int grid key, rejected with a clean message (not a traceback)."""
+    value = grid[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"solve grid key {key!r} must be a single integer, got {value!r}; "
+            "to sweep several values, enumerate explicit specs via --set specs=[...]"
+        )
+    return value
+
+
+def solve_spec_rows(spec: Mapping) -> list[dict]:
+    """Execute one spec-driven solve task (runs inside worker processes)."""
+    from ..api.solver import QAOASolver
+
+    return [QAOASolver(SolveSpec.from_dict(spec)).run().to_row()]
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -215,6 +336,13 @@ _EXPERIMENTS: dict[str, ExperimentSpec] = {
             enumerate=_grover_tasks,
             executor=_execute_grover,
             override_keys=_GROVER_KEYS,
+        ),
+        ExperimentSpec(
+            name="solve",
+            title="Spec-driven solves — arbitrary problem x mixer x strategy grids",
+            enumerate=_solve_tasks,
+            executor=solve_spec_rows,
+            override_keys=_SOLVE_KEYS,
         ),
     )
 }

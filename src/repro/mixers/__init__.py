@@ -22,6 +22,8 @@ from .xy import (
 )
 
 __all__ = [
+    "MIXER_NAMES",
+    "make_mixer",
     "DiagonalizedMixer",
     "Mixer",
     "GroverMixer",
@@ -45,3 +47,14 @@ __all__ = [
     "mixer_ring",
     "xy_subspace_matrix",
 ]
+
+
+def __getattr__(name: str):
+    # The name-based mixer registry lives in repro.api (which imports this
+    # package); re-export it lazily so `from repro.mixers import make_mixer`
+    # works without a circular import at module load time.
+    if name in ("make_mixer", "MIXER_NAMES"):
+        from ..api import mixers as _api_mixers
+
+        return getattr(_api_mixers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

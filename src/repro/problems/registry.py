@@ -20,6 +20,14 @@ import numpy as np
 from ..hilbert.subspace import DickeSpace, FeasibleSpace, FullSpace
 from .densest_subgraph import densest_subgraph as _densest_subgraph
 from .densest_subgraph import densest_subgraph_values as _densest_subgraph_values
+from .extra import ising_energy as _ising_energy
+from .extra import ising_energy_values as _ising_energy_values
+from .extra import max_independent_set as _max_independent_set
+from .extra import max_independent_set_values as _max_independent_set_values
+from .extra import number_partition as _number_partition
+from .extra import number_partition_values as _number_partition_values
+from .extra import qubo_value as _qubo_value
+from .extra import qubo_values as _qubo_values
 from .graphs import erdos_renyi
 from .ksat import ksat as _ksat
 from .ksat import ksat_values as _ksat_values
@@ -31,7 +39,16 @@ from .vertex_cover import vertex_cover_values as _vertex_cover_values
 
 __all__ = ["ProblemInstance", "make_problem", "PROBLEM_NAMES"]
 
-PROBLEM_NAMES = ("maxcut", "ksat", "densest_subgraph", "vertex_cover")
+PROBLEM_NAMES = (
+    "maxcut",
+    "ksat",
+    "densest_subgraph",
+    "vertex_cover",
+    "max_independent_set",
+    "number_partition",
+    "ising",
+    "qubo",
+)
 
 
 @dataclass
@@ -101,13 +118,21 @@ def make_problem(
     edge_probability: float = 0.5,
     clause_density: float = 6.0,
     sat_k: int = 3,
+    penalty: float = 2.0,
 ) -> ProblemInstance:
-    """Construct one of the paper's benchmark problems.
+    """Construct a registered benchmark problem instance by name.
+
+    Covers the paper's four figure families (``"maxcut"``, ``"ksat"``,
+    ``"densest_subgraph"``, ``"vertex_cover"``) plus the extra objectives of
+    :mod:`repro.problems.extra` (``"max_independent_set"``,
+    ``"number_partition"``, ``"ising"``, ``"qubo"``), whose random instances
+    are regenerated deterministically from ``seed``.  Name lookup is
+    case-insensitive.
 
     Parameters
     ----------
     name:
-        One of ``"maxcut"``, ``"ksat"``, ``"densest_subgraph"``, ``"vertex_cover"``.
+        One of :data:`PROBLEM_NAMES` (case-insensitive).
     n:
         Number of qubits (variables / vertices).
     seed:
@@ -119,9 +144,13 @@ def make_problem(
         Erdos–Renyi edge probability (paper uses 0.5).
     clause_density, sat_k:
         Random SAT parameters (paper uses density 6, 3-SAT).
+    penalty:
+        Edge-violation penalty of the unconstrained Max-Independent-Set
+        formulation.
     """
+    name = str(name).lower()
     if name not in PROBLEM_NAMES:
-        raise ValueError(f"unknown problem {name!r}; choose from {PROBLEM_NAMES}")
+        raise ValueError(f"unknown problem {name!r}; choose from {sorted(PROBLEM_NAMES)}")
 
     if name == "maxcut":
         graph = erdos_renyi(n, edge_probability, seed=seed)
@@ -146,6 +175,59 @@ def make_problem(
                 "clause_density": clause_density,
                 "k": sat_k,
             },
+        )
+
+    if name == "max_independent_set":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemInstance(
+            name="max_independent_set",
+            space=FullSpace(n),
+            cost=lambda x, g=graph, w=penalty: _max_independent_set(g, x, penalty=w),
+            cost_vectorized=lambda bits, g=graph, w=penalty: _max_independent_set_values(
+                g, bits, penalty=w
+            ),
+            metadata={
+                "graph": graph,
+                "seed": seed,
+                "penalty": penalty,
+                "edge_probability": edge_probability,
+            },
+        )
+
+    if name == "number_partition":
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 1.0, size=n)
+        return ProblemInstance(
+            name="number_partition",
+            space=FullSpace(n),
+            cost=lambda x, w=weights: _number_partition(w, x),
+            cost_vectorized=lambda bits, w=weights: _number_partition_values(w, bits),
+            metadata={"weights": weights, "seed": seed},
+        )
+
+    if name == "ising":
+        rng = np.random.default_rng(seed)
+        h = rng.uniform(-1.0, 1.0, size=n)
+        J = np.triu(rng.uniform(-1.0, 1.0, size=(n, n)), k=1)
+        return ProblemInstance(
+            name="ising",
+            space=FullSpace(n),
+            cost=lambda x, hh=h, jj=J: _ising_energy(hh, jj, x),
+            cost_vectorized=lambda bits, hh=h, jj=J: _ising_energy_values(hh, jj, bits),
+            maximize=False,  # the classical convention: minimize the energy
+            metadata={"h": h, "J": J, "seed": seed},
+        )
+
+    if name == "qubo":
+        rng = np.random.default_rng(seed)
+        Q = rng.uniform(-1.0, 1.0, size=(n, n))
+        Q = (Q + Q.T) / 2.0
+        return ProblemInstance(
+            name="qubo",
+            space=FullSpace(n),
+            cost=lambda x, q=Q: _qubo_value(q, x),
+            cost_vectorized=lambda bits, q=Q: _qubo_values(q, bits),
+            metadata={"Q": Q, "seed": seed},
         )
 
     if k is None:

@@ -1,0 +1,185 @@
+"""Mixer/strategy registries: completeness, case-insensitivity, diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import angles as angles_pkg
+from repro import mixers as mixers_pkg
+from repro.api import (
+    MIXER_NAMES,
+    MIXERS,
+    STRATEGIES,
+    STRATEGY_NAMES,
+    make_mixer,
+    run_strategy,
+)
+from repro.api.registry import Registry, RegistryError
+from repro.core.ansatz import QAOAAnsatz
+from repro.hilbert.subspace import DickeSpace, FullSpace
+from repro.mixers import (
+    CliqueMixer,
+    GroverMixer,
+    MultiAngleXMixer,
+    RingMixer,
+    XMixer,
+    XYMixer,
+)
+from repro.problems import make_problem
+
+#: Cheap-but-real parameters for exercising every registered strategy.
+CHEAP_STRATEGY_PARAMS = {
+    "grid": {"resolution": 4},
+    "random": {"iters": 3, "maxiter": 30},
+    "basinhop": {"n_hops": 2, "maxiter": 30},
+    "iterative": {"n_hops": 1, "n_starts_p1": 1, "maxiter": 30},
+    "fourier": {"n_hops": 1, "n_starts_p1": 1, "maxiter": 30},
+    "median": {"iters": 3, "maxiter": 30},
+    "multistart": {"iters": 3, "maxiter": 30},
+}
+
+
+@pytest.fixture(scope="module")
+def ansatz() -> QAOAAnsatz:
+    problem = make_problem("maxcut", 5, seed=1)
+    return QAOAAnsatz.from_problem(problem, mixers_pkg.mixer_x([1], 5), 2)
+
+
+class TestRegistryBasics:
+    def test_case_insensitive_lookup(self):
+        assert MIXERS.get("X") is MIXERS.get("x")
+        assert STRATEGIES.get("Random") is STRATEGIES.get("random")
+        assert MIXERS.canonical("GROVER") == "grover"
+
+    def test_aliases_resolve(self):
+        assert STRATEGIES.canonical("grid_search") == "grid"
+        assert STRATEGIES.canonical("basinhopping") == "basinhop"
+        assert STRATEGIES.canonical("multistart_minimize") == "multistart"
+        assert MIXERS.canonical("transverse_field") == "x"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError) as err:
+            MIXERS.get("warp_drive")
+        message = str(err.value)
+        for name in MIXER_NAMES:
+            assert name in message
+        with pytest.raises(ValueError, match="angle strategy"):
+            STRATEGIES.get("sorcery")
+
+    def test_duplicate_registration_rejected(self):
+        registry: Registry[int] = Registry("thing")
+        registry.add("a", 1, "alias")
+        with pytest.raises(RegistryError):
+            registry.add("A", 2)
+        with pytest.raises(RegistryError):
+            registry.add("b", 3, "Alias")
+
+    def test_contains_and_iteration(self):
+        assert "grover" in MIXERS
+        assert "GROVER" in MIXERS
+        assert "warp_drive" not in MIXERS
+        assert list(MIXERS) == list(MIXER_NAMES)
+        assert len(STRATEGIES) == len(STRATEGY_NAMES)
+
+
+class TestMixerRegistry:
+    def test_expected_families_registered(self):
+        assert set(MIXER_NAMES) == {"x", "multiangle_x", "ring", "clique", "xy", "grover"}
+
+    def test_every_exported_mixer_class_is_reachable(self):
+        """Registry completeness: each concrete exported mixer class has a name."""
+        full, dicke = FullSpace(4), DickeSpace(4, 2)
+        built = {
+            type(make_mixer("x", full)),
+            type(make_mixer("multiangle_x", full)),
+            type(make_mixer("ring", dicke)),
+            type(make_mixer("clique", dicke)),
+            type(make_mixer("xy", dicke, pairs=[(0, 1), (2, 3)])),
+            type(make_mixer("grover", full)),
+        }
+        assert built == {XMixer, MultiAngleXMixer, RingMixer, CliqueMixer, XYMixer, GroverMixer}
+
+    def test_space_compatibility_enforced(self):
+        with pytest.raises(ValueError, match="full 2\\^n space"):
+            make_mixer("x", DickeSpace(4, 2))
+        with pytest.raises(ValueError, match="Hamming weight"):
+            make_mixer("ring", FullSpace(4))
+        # grover works on both
+        assert make_mixer("grover", FullSpace(3)).dim == 8
+        assert make_mixer("grover", DickeSpace(4, 2)).dim == 6
+
+    def test_bad_parameters_are_value_errors(self):
+        with pytest.raises(ValueError, match="bad parameters for mixer"):
+            make_mixer("x", FullSpace(3), warp=9)
+        with pytest.raises(ValueError, match="bad parameters for mixer 'xy'"):
+            make_mixer("xy", DickeSpace(4, 2))  # missing required pairs
+
+    def test_mixers_package_reexports_registry(self):
+        assert mixers_pkg.make_mixer is make_mixer
+        assert mixers_pkg.MIXER_NAMES == MIXER_NAMES
+        with pytest.raises(AttributeError):
+            mixers_pkg.not_a_thing
+
+
+class TestStrategyRegistry:
+    def test_every_exported_strategy_function_is_registered(self):
+        """Registry completeness: each angle-finding entry point is adapted."""
+        implemented = set()
+        for _name, adapter in STRATEGIES.items():
+            implemented.update(adapter.implements)
+        expected = {
+            angles_pkg.grid_search,
+            angles_pkg.find_angles_random,
+            angles_pkg.basinhop,
+            angles_pkg.find_angles,
+            angles_pkg.median_angles,
+            angles_pkg.multistart_minimize,
+        }
+        assert expected <= implemented
+
+    def test_cheap_params_cover_every_strategy(self):
+        assert set(CHEAP_STRATEGY_PARAMS) == set(STRATEGY_NAMES)
+
+    @pytest.mark.parametrize("name", sorted(CHEAP_STRATEGY_PARAMS))
+    def test_protocol_normalizes_results(self, name, ansatz):
+        """Every strategy returns an AngleResult with populated bookkeeping."""
+        result = run_strategy(name, ansatz, rng=0, **CHEAP_STRATEGY_PARAMS[name])
+        assert result.strategy == name, "strategy name must be the canonical registry name"
+        assert result.evaluations > 0, "evaluation count must be populated"
+        assert result.p == ansatz.p
+        assert result.angles.shape == (ansatz.num_angles,)
+        assert np.isfinite(result.value)
+        # the reported value is really the expectation at the reported angles
+        assert ansatz.expectation(result.angles) == pytest.approx(result.value, abs=1e-8)
+
+    @pytest.mark.parametrize("name", sorted(CHEAP_STRATEGY_PARAMS))
+    def test_deterministic_in_rng_seed(self, name, ansatz):
+        params = CHEAP_STRATEGY_PARAMS[name]
+        a = run_strategy(name, ansatz, rng=5, **params)
+        b = run_strategy(name, ansatz, rng=5, **params)
+        assert np.array_equal(a.angles, b.angles)
+        assert a.value == b.value
+        assert a.evaluations == b.evaluations
+
+    def test_bad_parameters_are_value_errors(self, ansatz):
+        with pytest.raises(ValueError, match="bad parameters for strategy 'grid'"):
+            run_strategy("grid", ansatz, warp=9)
+
+    def test_internal_type_errors_propagate(self, ansatz, monkeypatch):
+        """Only call-binding TypeErrors translate to 'bad parameters'."""
+
+        def broken(ansatz, *, rng=None, **params):
+            raise TypeError("deep numpy failure")
+
+        monkeypatch.setitem(STRATEGIES._entries, "broken", broken)
+        monkeypatch.setitem(STRATEGIES._aliases, "broken", "broken")
+        with pytest.raises(TypeError, match="deep numpy failure"):
+            run_strategy("broken", ansatz)
+
+    def test_iterative_requires_repeated_mixer(self):
+        problem = make_problem("maxcut", 4, seed=0)
+        layers = [mixers_pkg.mixer_x([1], 4), mixers_pkg.mixer_x([1, 2], 4)]
+        mixed = QAOAAnsatz.from_problem(problem, layers, 2)
+        with pytest.raises(ValueError, match="single repeated mixer"):
+            run_strategy("iterative", mixed, rng=0, n_hops=1, maxiter=10)

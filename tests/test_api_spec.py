@@ -1,0 +1,116 @@
+"""Spec tree: coercion, validation, and lossless JSON round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import MixerSpec, ProblemSpec, SolveSpec, StrategySpec, solve
+
+
+class TestSpecConstruction:
+    def test_string_coercion_of_mixer_and_strategy(self):
+        spec = SolveSpec(problem=ProblemSpec("maxcut", 6), mixer="grover", strategy="basinhop")
+        assert spec.mixer == MixerSpec("grover")
+        assert spec.strategy == StrategySpec("basinhop")
+
+    def test_mapping_coercion(self):
+        spec = SolveSpec(
+            problem={"name": "ksat", "n": 5, "seed": 2},
+            mixer={"name": "x", "params": {"orders": [1, 2]}},
+            strategy={"name": "grid", "params": {"resolution": 4}},
+            p=2,
+        )
+        assert spec.problem == ProblemSpec("ksat", 5, seed=2)
+        assert spec.mixer.params == {"orders": [1, 2]}
+        assert spec.strategy.params == {"resolution": 4}
+
+    def test_build_flat_keywords(self):
+        spec = SolveSpec.build(
+            problem="maxcut",
+            n=7,
+            problem_seed=3,
+            mixer="grover",
+            strategy="multistart",
+            strategy_params={"iters": 4},
+            p=2,
+            seed=9,
+        )
+        assert spec.problem == ProblemSpec("maxcut", 7, seed=3)
+        assert spec.mixer.name == "grover"
+        assert spec.strategy == StrategySpec("multistart", params={"iters": 4})
+        assert spec.p == 2 and spec.seed == 9
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemSpec("maxcut", 0)
+        with pytest.raises(ValueError):
+            SolveSpec(problem=ProblemSpec("maxcut", 4), p=0)
+        with pytest.raises(TypeError):
+            SolveSpec(problem=ProblemSpec("maxcut", 4), mixer=12)
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            StrategySpec("random", params={"rng": np.random.default_rng(0)})
+
+
+class TestJsonRoundTrip:
+    def _spec(self) -> SolveSpec:
+        return SolveSpec(
+            problem=ProblemSpec("densest_subgraph", 6, seed=4, params={"k": 3}),
+            mixer=MixerSpec("ring"),
+            strategy=StrategySpec("random", params={"iters": 3, "maxiter": 25}),
+            p=2,
+            seed=11,
+        )
+
+    def test_dict_round_trip_is_lossless(self):
+        spec = self._spec()
+        assert SolveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_lossless(self):
+        spec = self._spec()
+        again = SolveSpec.from_json(spec.to_json())
+        assert again == spec
+        # and the serialized form itself is stable
+        assert again.to_json() == spec.to_json()
+
+    def test_defaults_fill_in(self):
+        spec = SolveSpec.from_dict({"problem": {"name": "maxcut", "n": 5}})
+        assert spec.mixer.name == "x"
+        assert spec.strategy.name == "random"
+        assert spec.p == 1 and spec.seed == 0
+
+    def test_round_tripped_spec_solves_identically(self):
+        """to_json -> from_json -> solve reproduces the run seed-for-seed."""
+        spec = SolveSpec(
+            problem=ProblemSpec("maxcut", 5, seed=2),
+            mixer="x",
+            strategy=StrategySpec("random", params={"iters": 4, "maxiter": 40}),
+            p=2,
+            seed=7,
+        )
+        first = solve(spec)
+        second = solve(SolveSpec.from_json(spec.to_json()))
+        assert np.array_equal(first.angles, second.angles)
+        assert first.value == second.value
+        assert first.evaluations == second.evaluations
+        assert first.ground_state_probability == second.ground_state_probability
+
+    @pytest.mark.parametrize("strategy", ["grid", "basinhop", "multistart"])
+    def test_round_trip_other_strategies(self, strategy):
+        params = {
+            "grid": {"resolution": 4},
+            "basinhop": {"n_hops": 2, "maxiter": 30},
+            "multistart": {"iters": 3, "maxiter": 30},
+        }[strategy]
+        spec = SolveSpec(
+            problem=ProblemSpec("ksat", 5, seed=1),
+            strategy=StrategySpec(strategy, params=params),
+            p=1,
+            seed=3,
+        )
+        first = solve(spec)
+        second = solve(SolveSpec.from_json(spec.to_json()))
+        assert np.array_equal(first.angles, second.angles)
+        assert first.value == second.value

@@ -22,9 +22,45 @@ class TestMakeProblem:
         with pytest.raises(ValueError):
             make_problem("travelling_salesman", 6)
 
+    def test_unknown_name_lists_sorted_choices(self):
+        with pytest.raises(ValueError) as err:
+            make_problem("travelling_salesman", 6)
+        message = str(err.value)
+        assert str(sorted(PROBLEM_NAMES)) in message
+
+    def test_name_lookup_is_case_insensitive(self):
+        upper = make_problem("MaxCut", 6, seed=3)
+        lower = make_problem("maxcut", 6, seed=3)
+        assert upper.name == "maxcut"
+        assert np.array_equal(upper.objective_values(), lower.objective_values())
+
+    def test_extra_families_registered(self):
+        for name in ("max_independent_set", "number_partition", "ising", "qubo"):
+            assert name in PROBLEM_NAMES
+
     def test_unconstrained_use_full_space(self):
         assert make_problem("maxcut", 5).space.is_full
         assert make_problem("ksat", 5).space.is_full
+        assert make_problem("max_independent_set", 5).space.is_full
+        assert make_problem("number_partition", 5).space.is_full
+        assert make_problem("ising", 5).space.is_full
+        assert make_problem("qubo", 5).space.is_full
+
+    def test_ising_is_minimization(self):
+        problem = make_problem("ising", 5, seed=1)
+        assert not problem.maximize
+        assert problem.optimum() == problem.objective_values().min()
+
+    def test_max_independent_set_penalty_forwarded(self):
+        mild = make_problem("max_independent_set", 6, seed=2, penalty=1.5)
+        harsh = make_problem("max_independent_set", 6, seed=2, penalty=10.0)
+        assert mild.metadata["penalty"] == 1.5
+        assert not np.array_equal(mild.objective_values(), harsh.objective_values())
+
+    def test_number_partition_objective_nonpositive(self):
+        problem = make_problem("number_partition", 6, seed=3)
+        assert (problem.objective_values() <= 0).all()
+        assert problem.metadata["weights"].shape == (6,)
 
     def test_constrained_use_dicke_space(self):
         dks = make_problem("densest_subgraph", 6, k=2)
