@@ -100,6 +100,7 @@ from .problems import (
     vertex_cover,
     vertex_cover_values,
 )
+from .service import SolverService, default_service
 
 __version__ = "1.2.0"
 
@@ -165,5 +166,7 @@ __all__ = [
     "random_ksat",
     "vertex_cover",
     "vertex_cover_values",
+    "SolverService",
+    "default_service",
     "__version__",
 ]

@@ -32,6 +32,12 @@ _WOLFE_C2 = 0.9
 _MAX_LINESEARCH_EVALS = 30
 _MAX_EXPANSIONS = 6
 _CURVATURE_FLOOR = 1e-12
+#: Freeze a column after this many consecutive iterations whose accepted step
+#: improved the loss by less than fp round-off (scipy's "precision loss" stop:
+#: the iterate is as converged as the arithmetic allows even if the gradient
+#: tolerance was never met, and further line searches just burn evaluations).
+_MAX_NO_PROGRESS = 3
+_PROGRESS_RTOL = 1e-13
 
 
 def default_refine_batch(dim: int, p: int, *, budget_elems: int = 1 << 21) -> int:
@@ -166,6 +172,7 @@ def _minimize_chunk(
     hess_inv = _identity_stack(m, na)
     cols = np.arange(m)  # original chunk column of each active slot
     fresh = np.ones(m, dtype=bool)  # pending first-update Hessian scaling
+    no_progress = np.zeros(m, dtype=np.int64)  # consecutive round-off-only steps
     # Previous-iterate loss, seeded the way scipy does (old_fval + |grad|/2) so
     # the first trial step matches scipy BFGS's ~1/|grad| scaling instead of
     # jumping a full raw-gradient length into a different basin.
@@ -173,7 +180,7 @@ def _minimize_chunk(
 
     def freeze(finished: np.ndarray, conv_flags: np.ndarray) -> None:
         """Record finished slots and compact them out of the active arrays."""
-        nonlocal x, loss, grad, hess_inv, cols, fresh, prev_loss
+        nonlocal x, loss, grad, hess_inv, cols, fresh, prev_loss, no_progress
         idx = cols[finished]
         out_x[idx] = x[finished]
         out_loss[idx] = loss[finished]
@@ -182,6 +189,7 @@ def _minimize_chunk(
         x, loss, grad = x[keep], loss[keep], grad[keep]
         hess_inv, cols, fresh = hess_inv[keep], cols[keep], fresh[keep]
         prev_loss = prev_loss[keep]
+        no_progress = no_progress[keep]
 
     already = np.abs(grad).max(axis=1) <= gtol
     if already.any():
@@ -311,10 +319,16 @@ def _minimize_chunk(
             )
             hess_inv[upd] = updated
 
+        # Track columns whose accepted step no longer moves the loss beyond
+        # round-off; a few such iterations in a row mean the column is done
+        # to machine precision even though the gradient tolerance never hit.
+        tiny = ~stalled & (loss - loss_new <= _PROGRESS_RTOL * (1.0 + np.abs(loss_new)))
+        no_progress = np.where(tiny, no_progress + 1, 0)
+
         prev_loss = loss
         x, loss, grad = x_new, loss_new, grad_new
         small_grad = np.abs(grad).max(axis=1) <= gtol
-        finished = stalled | small_grad
+        finished = stalled | small_grad | (no_progress >= _MAX_NO_PROGRESS)
         if finished.any():
             freeze(finished, small_grad)
 

@@ -28,7 +28,112 @@ from .bfgs import GradientMode, local_minimize
 from .multistart import multistart_minimize
 from .result import AngleResult
 
-__all__ = ["find_angles_random"]
+__all__ = [
+    "find_angles_random",
+    "random_restart_seeds",
+    "restart_results_from_report",
+    "select_best_restart",
+    "summarize_restarts",
+]
+
+
+def random_restart_seeds(
+    ansatz: QAOAAnsatz, iters: int, rng: np.random.Generator | int | None
+) -> np.ndarray:
+    """The ``(iters, num_angles)`` seed matrix one random-restart run draws.
+
+    Extracted so batching layers (the solver service's request coalescer) can
+    generate each request's seeds exactly as :func:`find_angles_random` would
+    and refine many requests' seeds as the columns of one multi-start batch.
+    """
+    if iters < 1:
+        raise ValueError("at least one restart is required")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    return 2.0 * np.pi * rng.random((iters, ansatz.num_angles))
+
+
+def restart_results_from_report(
+    ansatz: QAOAAnsatz, report, *, start: int = 0, count: int | None = None
+) -> list[AngleResult]:
+    """Per-restart :class:`AngleResult`\\ s for a slice of a multi-start report.
+
+    ``report`` is a :class:`~repro.angles.multistart.MultiStartResult`; columns
+    ``start .. start+count`` are converted exactly the way
+    :func:`find_angles_random`'s vectorized path labels its refined restarts.
+    """
+    if count is None:
+        count = report.values.shape[0] - start
+    results = []
+    for pos in range(start, start + count):
+        results.append(
+            AngleResult(
+                angles=report.angles[pos],
+                value=float(report.values[pos]),
+                p=ansatz.p,
+                evaluations=int(report.column_evaluations[pos]),
+                strategy="bfgs-adjoint-batched",
+                history=[
+                    {
+                        "converged": bool(report.converged[pos]),
+                        "iterations": int(report.iterations[pos]),
+                    }
+                ],
+            )
+        )
+    return results
+
+
+def select_best_restart(ansatz: QAOAAnsatz, results: list[AngleResult]) -> AngleResult:
+    """First-best-wins selection with the fp-noise tie guard.
+
+    Symmetry-equivalent optima agree only to round-off, and which copy
+    computes a few ulps higher depends on the refinement backend — near-ties
+    resolve to the earliest restart so the winner (and anything downstream,
+    like median-angle studies) is backend-stable.
+    """
+    if not results:
+        raise ValueError("at least one restart result is required")
+    best = results[0]
+    for result in results[1:]:
+        tol = 1e-10 * (1.0 + abs(best.value))
+        if ansatz.maximize:
+            better = result.value > best.value + tol
+        else:
+            better = result.value < best.value - tol
+        if better:
+            best = result
+    return best
+
+
+def summarize_restarts(
+    ansatz: QAOAAnsatz,
+    all_results: list[AngleResult],
+    evaluations: int,
+    *,
+    seed_values: np.ndarray | None = None,
+    refine: set[int] | None = None,
+) -> AngleResult:
+    """The ``"random-restart"`` summary result over a full set of restarts."""
+    if refine is None:
+        refine = set(range(len(all_results)))
+    best = select_best_restart(ansatz, all_results)
+    return AngleResult(
+        angles=best.angles,
+        value=best.value,
+        p=ansatz.p,
+        evaluations=evaluations,
+        strategy="random-restart",
+        history=[
+            {
+                "restart": i,
+                "value": r.value,
+                "seed_value": None if seed_values is None else float(seed_values[i]),
+                "refined": i in refine,
+            }
+            for i, r in enumerate(all_results)
+        ],
+    )
 
 
 def _score_seeds(
@@ -83,10 +188,8 @@ def find_angles_random(
         raise ValueError(
             f"vectorized refinement requires gradient='adjoint', got {gradient!r}"
         )
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
 
-    seeds = 2.0 * np.pi * rng.random((iters, ansatz.num_angles))
+    seeds = random_restart_seeds(ansatz, iters, rng)
     evaluations = 0
     prune = refine_top is not None and refine_top < iters
     if prune:
@@ -106,26 +209,14 @@ def find_angles_random(
         refine_order = sorted(refine)
         report = multistart_minimize(ansatz, seeds[refine_order], maxiter=maxiter)
         evaluations += report.evaluations
+        per_column = restart_results_from_report(ansatz, report)
         for pos, i in enumerate(refine_order):
-            refined[i] = AngleResult(
-                angles=report.angles[pos],
-                value=float(report.values[pos]),
-                p=ansatz.p,
-                evaluations=int(report.column_evaluations[pos]),
-                strategy="bfgs-adjoint-batched",
-                history=[
-                    {
-                        "converged": bool(report.converged[pos]),
-                        "iterations": int(report.iterations[pos]),
-                    }
-                ],
-            )
+            refined[i] = per_column[pos]
     else:
         for i in sorted(refine):
             refined[i] = local_minimize(ansatz, seeds[i], gradient=gradient, maxiter=maxiter)
             evaluations += refined[i].evaluations
 
-    best: AngleResult | None = None
     all_results: list[AngleResult] = []
     for i in range(iters):
         if i in refine:
@@ -142,38 +233,9 @@ def find_angles_random(
                 strategy="random-seed",
             )
         all_results.append(result)
-        if best is None:
-            best = result
-        else:
-            # First-best-wins with an fp-noise guard: symmetry-equivalent
-            # optima agree only to round-off, and which copy computes a few
-            # ulps higher depends on the refinement backend — resolve such
-            # near-ties to the earliest restart so the winner (and anything
-            # downstream, like median-angle studies) is backend-stable.
-            tol = 1e-10 * (1.0 + abs(best.value))
-            if ansatz.maximize:
-                better = result.value > best.value + tol
-            else:
-                better = result.value < best.value - tol
-            if better:
-                best = result
 
-    assert best is not None
-    summary = AngleResult(
-        angles=best.angles,
-        value=best.value,
-        p=ansatz.p,
-        evaluations=evaluations,
-        strategy="random-restart",
-        history=[
-            {
-                "restart": i,
-                "value": r.value,
-                "seed_value": None if seed_values is None else float(seed_values[i]),
-                "refined": i in refine,
-            }
-            for i, r in enumerate(all_results)
-        ],
+    summary = summarize_restarts(
+        ansatz, all_results, evaluations, seed_values=seed_values, refine=refine
     )
     if return_all:
         return summary, all_results

@@ -16,7 +16,10 @@ equivalence with the legacy calls testable.
 
 from __future__ import annotations
 
+import json
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -28,10 +31,52 @@ from ..core.simulator import QAOAResult
 from ..mixers.base import Mixer
 from ..problems.registry import ProblemInstance, make_problem
 from .mixers import MIXERS, make_mixer
-from .spec import SolveSpec
+from .spec import ProblemSpec, SolveSpec
 from .strategies import run_strategy
 
-__all__ = ["SolveResult", "QAOASolver", "solve"]
+__all__ = [
+    "SolveResult",
+    "QAOASolver",
+    "solve",
+    "memoized_problem",
+    "clear_problem_memo",
+]
+
+#: How many distinct problem instances the module-level memo keeps warm.
+_PROBLEM_MEMO_CAPACITY = 16
+
+_problem_memo: OrderedDict[str, ProblemInstance] = OrderedDict()
+_problem_memo_lock = threading.Lock()
+
+
+def memoized_problem(problem: ProblemSpec) -> ProblemInstance:
+    """The regenerated :class:`ProblemInstance` for ``problem``, memoized.
+
+    Problem regeneration (graph/instance sampling plus objective values over
+    the feasible space) is deterministic in the spec, so repeated solver
+    constructions for the same problem — a sweep's params-only grid, repeated
+    ``run(seed=...)`` calls, the solver service — share one instance instead
+    of rebuilding it per call.  A small LRU bounds residency; thread-safe.
+    """
+    key = json.dumps(problem.to_dict(), sort_keys=True)
+    with _problem_memo_lock:
+        cached = _problem_memo.get(key)
+        if cached is not None:
+            _problem_memo.move_to_end(key)
+            return cached
+    instance = make_problem(problem.name, problem.n, seed=problem.seed, **problem.params)
+    with _problem_memo_lock:
+        _problem_memo[key] = instance
+        _problem_memo.move_to_end(key)
+        while len(_problem_memo) > _PROBLEM_MEMO_CAPACITY:
+            _problem_memo.popitem(last=False)
+    return instance
+
+
+def clear_problem_memo() -> None:
+    """Drop all memoized problem instances (tests and memory-pressure hooks)."""
+    with _problem_memo_lock:
+        _problem_memo.clear()
 
 
 @dataclass
@@ -60,10 +105,15 @@ class SolveResult:
     wall_time_s:
         Wall-clock seconds for the angle search plus the final simulation.
     angle_result:
-        The strategy's full normalized :class:`AngleResult` (history included).
+        The strategy's full normalized :class:`AngleResult` (history included),
+        or ``None`` on a result reconstructed from a cached row.
     simulation:
         The :class:`~repro.core.simulator.QAOAResult` at the best angles
-        (sampling probabilities, amplitudes, ...).
+        (sampling probabilities, amplitudes, ...), or ``None`` on a result
+        reconstructed from a cached row.
+    cached:
+        ``True`` when this result was answered from the spec-keyed result
+        cache without running the simulator.
     """
 
     spec: SolveSpec
@@ -75,16 +125,49 @@ class SolveResult:
     evaluations: int
     strategy: str
     wall_time_s: float
-    angle_result: AngleResult = field(repr=False)
-    simulation: QAOAResult = field(repr=False)
+    angle_result: AngleResult | None = field(repr=False, default=None)
+    simulation: QAOAResult | None = field(repr=False, default=None)
+    cached: bool = False
 
     def probabilities(self) -> np.ndarray:
         """Sampling probabilities over the feasible space at the best angles."""
+        if self.simulation is None:
+            raise ValueError(
+                "no simulation attached (cache-reconstructed result); "
+                "re-run solve() with the result cache disabled for the full state"
+            )
         return self.simulation.probabilities()
 
     def sample(self, shots: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
         """Draw measurement outcomes from the final state."""
+        if self.simulation is None:
+            raise ValueError(
+                "no simulation attached (cache-reconstructed result); "
+                "re-run solve() with the result cache disabled for the full state"
+            )
         return self.simulation.sample(shots, rng=rng)
+
+    @classmethod
+    def from_row(cls, spec: SolveSpec, row: Mapping[str, Any], *, cached: bool = True):
+        """Rebuild the scalar portion of a result from its stored row.
+
+        The inverse of :meth:`to_row` up to the fields a flat row cannot carry
+        (``angle_result`` history and the final statevector stay ``None``) —
+        this is how a result-cache hit materializes without any simulation.
+        """
+        ratio = row.get("approximation_ratio")
+        return cls(
+            spec=spec,
+            angles=np.asarray(row["angles"], dtype=np.float64),
+            value=float(row["value"]),
+            optimum=float(row["optimum"]),
+            approximation_ratio=None if ratio is None else float(ratio),
+            ground_state_probability=float(row["ground_state_probability"]),
+            evaluations=int(row["evaluations"]),
+            strategy=str(row["strategy"]),
+            wall_time_s=float(row["wall_time_s"]),
+            cached=cached,
+        )
 
     def to_row(self) -> dict:
         """Flat JSON-serializable summary row (what sweeps store per solve).
@@ -135,14 +218,29 @@ class QAOASolver:
         if not isinstance(spec, SolveSpec):
             spec = SolveSpec.from_dict(spec)
         self.spec = spec
-        self.problem: ProblemInstance = make_problem(
-            spec.problem.name,
-            spec.problem.n,
-            seed=spec.problem.seed,
-            **spec.problem.params,
-        )
+        self.problem: ProblemInstance = memoized_problem(spec.problem)
         self.mixer: Mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
         self.ansatz: QAOAAnsatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
+
+    @classmethod
+    def from_components(
+        cls,
+        spec: SolveSpec,
+        problem: ProblemInstance,
+        mixer: Mixer,
+        ansatz: QAOAAnsatz,
+    ) -> "QAOASolver":
+        """Wrap already-built components (the warm pool's entry) as a solver.
+
+        Skips all construction work — this is how the solver service runs a
+        spec on a pooled problem/mixer/ansatz without re-deriving anything.
+        """
+        solver = cls.__new__(cls)
+        solver.spec = spec
+        solver.problem = problem
+        solver.mixer = mixer
+        solver.ansatz = ansatz
+        return solver
 
     def find_angles(self, *, seed: int | None = None) -> AngleResult:
         """Run just the angle strategy (``seed`` overrides the spec's)."""
@@ -154,12 +252,21 @@ class QAOASolver:
             **self.spec.strategy.params,
         )
 
-    def run(self, *, seed: int | None = None) -> SolveResult:
-        """Full solve: angle search, final simulation, metrics."""
-        started = time.perf_counter()
-        angle_result = self.find_angles(seed=seed)
+    def result_from_angles(
+        self,
+        angle_result: AngleResult,
+        *,
+        seed: int | None = None,
+        started: float | None = None,
+    ) -> SolveResult:
+        """Final simulation + metrics for an already-found angle result.
+
+        ``started`` is a ``time.perf_counter()`` origin for ``wall_time_s``
+        (0.0 when omitted); the coalescer times each request externally and
+        passes its own origin here.
+        """
         simulation = self.ansatz.simulate(angle_result.angles)
-        wall_time = time.perf_counter() - started
+        wall_time = 0.0 if started is None else time.perf_counter() - started
 
         optimum = self.problem.optimum()
         ratio = float(angle_result.value) / optimum if optimum > 0 else None
@@ -185,6 +292,12 @@ class QAOASolver:
             angle_result=angle_result,
             simulation=simulation,
         )
+
+    def run(self, *, seed: int | None = None) -> SolveResult:
+        """Full solve: angle search, final simulation, metrics."""
+        started = time.perf_counter()
+        angle_result = self.find_angles(seed=seed)
+        return self.result_from_angles(angle_result, seed=seed, started=started)
 
 
 def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveResult:

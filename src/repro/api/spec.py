@@ -193,10 +193,12 @@ class SolveSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
+        # __post_init__ coerces, so sub-specs may be mappings or bare name
+        # strings here — exactly what hand-written JSON documents send.
         return cls(
-            problem=ProblemSpec.from_dict(data["problem"]),
-            mixer=MixerSpec.from_dict(data.get("mixer", {"name": "x"})),
-            strategy=StrategySpec.from_dict(data.get("strategy", {"name": "random"})),
+            problem=data["problem"],
+            mixer=data.get("mixer", MixerSpec()),
+            strategy=data.get("strategy", StrategySpec()),
             p=data.get("p", 1),
             seed=data.get("seed", 0),
         )

@@ -24,6 +24,14 @@ Commands
     use ``repro run solve`` instead, which shards and resumes through a run
     store like any other experiment.
 
+``repro serve``
+    Run the long-lived HTTP solver service: ``POST /solve`` accepts a spec
+    (or a ``{"specs": [...]}`` batch), concurrent same-``(problem, mixer, p,
+    strategy)`` requests coalesce into one batched multi-start GEMM on a warm
+    workspace pool, and finished solves are answered from the spec-keyed
+    result cache.  ``GET /healthz`` / ``GET /stats`` report liveness and the
+    hit/miss/coalescing counters.
+
 ``repro status``
     Summarize every run store under ``--out`` (tasks completed, rows, state).
 
@@ -150,6 +158,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the result row (plus the spec) to PATH as JSON",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP solver service (POST /solve, GET /healthz, GET /stats)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8642, help="bind port (default 8642)")
+    p_serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=10.0,
+        help="coalescing window in milliseconds: how long the first request of a "
+        "(problem, mixer, p, strategy) key waits for batch company (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="batch size that flushes a coalescing window immediately (default 64)",
+    )
+    p_serve.add_argument(
+        "--pool-entries",
+        type=int,
+        default=8,
+        help="max warm (problem, mixer, p) pool entries kept alive (default 8)",
+    )
+    p_serve.add_argument(
+        "--pool-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for the warm pool (default: unlimited; LRU entries are "
+        "evicted once the analytic residency estimate exceeds it)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        default=None,
+        metavar="DIR|0|1",
+        help="spec-keyed result cache: a directory, 1 for the default cache dir, "
+        "0 to disable (default: the REPRO_RESULT_CACHE environment variable)",
     )
 
     p_status = sub.add_parser("status", help="summarize run stores under --out")
@@ -347,6 +395,40 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .io.cache import ResultCache, default_cache_dir, result_cache_from_env
+    from .service import SolverService
+    from .service.server import serve
+
+    if args.window_ms < 0:
+        raise _CliError("--window-ms must be non-negative")
+    if args.max_batch < 1:
+        raise _CliError("--max-batch must be positive")
+    if args.result_cache is None:
+        result_cache = result_cache_from_env()
+    elif args.result_cache == "0":
+        result_cache = None
+    elif args.result_cache == "1":
+        result_cache = ResultCache(default_cache_dir() / "results")
+    else:
+        result_cache = ResultCache(args.result_cache)
+    try:
+        service = SolverService(
+            max_entries=args.pool_entries,
+            max_bytes=args.pool_bytes,
+            result_cache=result_cache,
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    try:
+        serve(service, host=args.host, port=args.port)
+    except OSError as exc:
+        raise _CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     stores = _find_stores(Path(args.out))
     if not stores:
@@ -406,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "solve": _cmd_solve,
+        "serve": _cmd_serve,
         "status": _cmd_status,
         "report": _cmd_report,
     }

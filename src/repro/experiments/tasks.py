@@ -282,10 +282,16 @@ def _grid_int(grid: dict, key: str) -> int:
 
 
 def solve_spec_rows(spec: Mapping) -> list[dict]:
-    """Execute one spec-driven solve task (runs inside worker processes)."""
-    from ..api.solver import QAOASolver
+    """Execute one spec-driven solve task (runs inside worker processes).
 
-    return [QAOASolver(SolveSpec.from_dict(spec)).run().to_row()]
+    Routed through each worker's :func:`repro.service.default_service`, so a
+    params-only grid re-uses one warm problem/mixer/ansatz per fingerprint
+    instead of rebuilding spectra row by row (and, when ``REPRO_RESULT_CACHE``
+    is set, answers repeated specs from the shared result cache).
+    """
+    from ..service import default_service
+
+    return [default_service().solve(SolveSpec.from_dict(spec)).to_row()]
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ __all__ = [
     "eigendecomposition_bytes",
     "dense_unitary_bytes",
     "simulator_memory_estimate",
+    "warm_entry_bytes",
     "measure_peak_allocation",
     "rss_bytes",
 ]
@@ -85,6 +86,44 @@ def simulator_memory_estimate(
     if kind == "dense":
         return statevector_bytes(dim) + 3 * dense_unitary_bytes(dim)
     raise ValueError(f"unknown simulator kind {kind!r}")
+
+
+def warm_entry_bytes(
+    dim: int,
+    *,
+    p: int = 1,
+    batch_capacity: int = 0,
+    dense_eigenvectors: bool = False,
+    complex_vectors: bool = False,
+) -> int:
+    """Estimated resident bytes of one warm solver-service pool entry.
+
+    Sums the components a kept-alive ``(problem, mixer, p)`` entry pins in
+    memory: the objective values, the scalar :class:`Workspace` (three
+    statevectors plus the ``p``-layer adjoint store), the three core
+    ``(dim, M)`` matrices of a :class:`BatchedWorkspace` grown to
+    ``batch_capacity`` columns (plus its adjoint layer store and aux matrix
+    when gradients ran), and — for diagonalized mixer families — the dense
+    eigendecomposition.  This is the accounting the warm pool's byte-budget
+    eviction runs on.
+    """
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    if p < 1:
+        raise ValueError("round count must be positive")
+    if batch_capacity < 0:
+        raise ValueError("batch capacity must be non-negative")
+    total = dim * _FLOAT_BYTES  # objective values
+    total += 3 * statevector_bytes(dim)  # scalar workspace: state/scratch/adjoint
+    total += p * 2 * statevector_bytes(dim)  # scalar per-layer adjoint store
+    if batch_capacity:
+        per_matrix = statevector_bytes(dim) * batch_capacity
+        total += 3 * per_matrix  # state/scratch/phase
+        total += per_matrix  # aux (adjoint Hamiltonian products)
+        total += p * 2 * per_matrix  # batched forward-layer store
+    if dense_eigenvectors:
+        total += eigendecomposition_bytes(dim, complex_vectors=complex_vectors)
+    return total
 
 
 def measure_peak_allocation(func: Callable[[], object]) -> tuple[object, int]:

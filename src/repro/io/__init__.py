@@ -1,9 +1,11 @@
 """Persistence: mixer eigendecomposition caches, angle checkpoints, results, locks."""
 
 from .cache import (
+    ResultCache,
     cached_eigendecomposition,
     default_cache_dir,
     load_eigendecomposition,
+    result_cache_from_env,
     save_eigendecomposition,
 )
 from .locking import FileLock, LockTimeout, locking_backend
@@ -16,9 +18,11 @@ from .results import (
 )
 
 __all__ = [
+    "ResultCache",
     "cached_eigendecomposition",
     "default_cache_dir",
     "load_eigendecomposition",
+    "result_cache_from_env",
     "save_eigendecomposition",
     "FileLock",
     "LockTimeout",

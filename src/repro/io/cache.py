@@ -1,4 +1,4 @@
-"""Disk caches for pre-computed spectral data.
+"""Disk caches for pre-computed spectral data and finished solve results.
 
 Computing the eigendecomposition of a Clique or Ring mixer is the most
 expensive part of setting up a constrained QAOA (the paper notes it was the
@@ -6,23 +6,46 @@ limiting factor on a 48 GB GPU at n = 18).  The decomposition only depends on
 ``(n, k, interaction pattern)``, so it is computed once and stored; Listing 2
 of the paper exposes this as a ``file=...`` keyword.  This module implements
 that cache as compressed ``.npz`` files with a small integrity header.
+
+Writes are crash- and concurrency-safe: every file lands via ``mkstemp`` +
+atomic rename, and fills of one cache path are serialized by a
+:class:`~repro.io.locking.FileLock`, so two processes racing to populate the
+same path can no longer interleave a torn ``.npz`` — one computes, the other
+loads.
+
+:class:`ResultCache` extends the same idea to *finished solves*: a
+:class:`~repro.api.spec.SolveSpec` is canonical JSON, so its hash keys the
+result row of the exact solve it describes.  The solver service answers
+repeated queries from this cache without touching the simulator at all.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
+
+from .locking import FileLock
 
 __all__ = [
     "save_eigendecomposition",
     "load_eigendecomposition",
     "cached_eigendecomposition",
     "default_cache_dir",
+    "ResultCache",
+    "result_cache_from_env",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Seconds a cache fill may hold the per-path lock before waiters give up —
+#: generous, because the guarded section may include the eigendecomposition
+#: itself (minutes at large n), not just the file write.
+_FILL_LOCK_TIMEOUT = 600.0
 
 
 def default_cache_dir() -> Path:
@@ -37,6 +60,27 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro_qaoa"
 
 
+def _atomic_write_bytes(path: Path, write) -> None:
+    """Write a file via ``mkstemp`` in the target directory + atomic rename.
+
+    ``write`` receives the open binary file object.  Readers either see the
+    complete old file or the complete new one — never a partial write — and a
+    crash mid-write leaves only an orphaned ``*.tmp`` file, not a torn cache.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_eigendecomposition(
     path: str | Path,
     eigenvalues: np.ndarray,
@@ -44,7 +88,12 @@ def save_eigendecomposition(
     *,
     key: str = "",
 ) -> Path:
-    """Save an eigendecomposition to ``path`` (``.npz``), creating parent dirs."""
+    """Save an eigendecomposition to ``path`` (``.npz``), creating parent dirs.
+
+    The write is atomic (temp file + rename), so a concurrent
+    :func:`load_eigendecomposition` of the same path can never observe a
+    half-written archive.
+    """
     path = Path(path)
     eigenvalues = np.asarray(eigenvalues)
     eigenvectors = np.asarray(eigenvectors)
@@ -52,13 +101,15 @@ def save_eigendecomposition(
         raise ValueError("eigenvectors must be a square matrix")
     if eigenvalues.shape != (eigenvectors.shape[0],):
         raise ValueError("eigenvalues length must match eigenvector dimension")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    _atomic_write_bytes(
         path,
-        format_version=np.int64(_FORMAT_VERSION),
-        key=np.bytes_(key.encode("utf-8")),
-        eigenvalues=eigenvalues,
-        eigenvectors=eigenvectors,
+        lambda handle: np.savez_compressed(
+            handle,
+            format_version=np.int64(_FORMAT_VERSION),
+            key=np.bytes_(key.encode("utf-8")),
+            eigenvalues=eigenvalues,
+            eigenvectors=eigenvectors,
+        ),
     )
     return path
 
@@ -98,12 +149,122 @@ def cached_eigendecomposition(
     eigenvectors)``.  When ``path`` is ``None`` the decomposition is simply
     computed without touching the filesystem (matching the paper's behaviour
     when no ``file=`` argument is passed).
+
+    Concurrent fills of the same path are serialized by a per-path
+    :class:`FileLock`: the first process computes and atomically publishes
+    the file while the others block, re-check, and load the finished result —
+    the expensive decomposition runs once, not once per process.
     """
     if path is None:
         return compute()
     path = Path(path)
     if path.exists():
         return load_eigendecomposition(path, expected_key=key)
-    eigenvalues, eigenvectors = compute()
-    save_eigendecomposition(path, eigenvalues, eigenvectors, key=key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock = FileLock(path.with_name(path.name + ".lock"), timeout=_FILL_LOCK_TIMEOUT)
+    with lock:
+        # Another process may have published the file while we waited.
+        if path.exists():
+            return load_eigendecomposition(path, expected_key=key)
+        eigenvalues, eigenvectors = compute()
+        save_eigendecomposition(path, eigenvalues, eigenvectors, key=key)
     return eigenvalues, eigenvectors
+
+
+# ---------------------------------------------------------------------------
+# Spec-keyed result cache
+# ---------------------------------------------------------------------------
+
+_RESULT_CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Disk cache of finished solve rows, keyed by the solve spec's JSON hash.
+
+    A :class:`~repro.api.spec.SolveSpec` fully determines its solve (the
+    strategy's RNG seed is part of the spec), and ``spec.to_json()`` is
+    canonical (sorted keys), so ``sha256(spec.to_json())`` is a free, exact
+    cache key.  Each entry is one small JSON file holding the spec (for
+    auditability) and the flat result row :meth:`SolveResult.to_row` produced.
+
+    Writes go through ``mkstemp`` + atomic rename under a directory-wide
+    :class:`FileLock`, so any number of worker processes can share one cache
+    directory: concurrent stores never tear a file, and a reader sees either
+    a complete entry or none.  Reads are lock-free.
+    """
+
+    def __init__(self, directory: str | Path, *, lock_timeout: float = 60.0):
+        self.directory = Path(directory)
+        self.lock_timeout = float(lock_timeout)
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def key_for(spec) -> str:
+        """Hex digest identifying one exact solve (``sha256`` of canonical JSON)."""
+        return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+
+    def path_for(self, spec) -> Path:
+        """Where the entry for ``spec`` lives (whether or not it exists yet)."""
+        return self.directory / f"{self.key_for(spec)}.json"
+
+    # -- read/write ----------------------------------------------------
+    def get(self, spec) -> dict | None:
+        """The cached result row for ``spec``, or ``None`` on a miss.
+
+        Unreadable entries (foreign versions, corrupt JSON from pre-atomic
+        writers) are treated as misses, never errors: the caller just
+        recomputes and overwrites them.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != _RESULT_CACHE_VERSION:
+            return None
+        row = payload.get("row")
+        return dict(row) if isinstance(row, dict) else None
+
+    def put(self, spec, row: dict) -> Path:
+        """Atomically store ``row`` as the result of ``spec``; returns the path.
+
+        A fresh :class:`FileLock` is taken per call (lock objects are not
+        shareable across threads), serializing writers on the directory.
+        """
+        path = self.path_for(spec)
+        payload = {
+            "version": _RESULT_CACHE_VERSION,
+            "spec": spec.to_dict(),
+            "row": dict(row),
+        }
+        text = json.dumps(payload, sort_keys=True)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock = FileLock(self.directory / ".results.lock", timeout=self.lock_timeout)
+        with lock:
+            _atomic_write_bytes(path, lambda handle: handle.write(text.encode("utf-8")))
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.directory)!r})"
+
+
+def result_cache_from_env() -> ResultCache | None:
+    """The :class:`ResultCache` selected by ``REPRO_RESULT_CACHE``, if any.
+
+    * unset, empty, or ``"0"`` — caching disabled (returns ``None``);
+    * ``"1"`` — cache under ``default_cache_dir()/results`` (which itself
+      honours ``REPRO_CACHE_DIR``);
+    * anything else — treated as the cache directory path.
+    """
+    env = os.environ.get("REPRO_RESULT_CACHE", "")
+    if env in ("", "0"):
+        return None
+    if env == "1":
+        return ResultCache(default_cache_dir() / "results")
+    return ResultCache(env)

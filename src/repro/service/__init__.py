@@ -1,0 +1,39 @@
+"""The long-lived solver service: warm pools, request coalescing, result cache.
+
+One-shot :func:`repro.api.solve` pays the full setup cost — problem
+regeneration, feasible-space construction, mixer eigendecomposition — on every
+call, which the paper identifies as the dominant cost at scale (the limiting
+factor on a 48 GB GPU at n = 18).  A :class:`SolverService` amortizes it:
+
+* :class:`~repro.service.pools.WarmPool` keeps the built problem / mixer /
+  ansatz (with its grown :class:`~repro.core.workspace.BatchedWorkspace` and
+  precomputed mixer spectra) alive per ``(problem, mixer, p)`` fingerprint,
+  under LRU + byte-budget eviction accounted by
+  :func:`repro.hpc.memory.warm_entry_bytes`;
+* :mod:`~repro.service.coalesce` merges concurrent requests that share a
+  fingerprint into the columns of one batched multi-start GEMM;
+* the spec-keyed :class:`~repro.io.cache.ResultCache` answers repeated
+  queries without touching the simulator at all.
+
+Front ends: the in-process :meth:`SolverService.solve_many` / async
+:meth:`SolverService.submit` API (what the sweep runner routes through), and
+the stdlib-only HTTP server behind ``repro serve``
+(:mod:`~repro.service.server`).
+"""
+
+from .coalesce import CoalesceWindow, coalesce_key, coalescible, solve_group
+from .core import SolverService, default_service, reset_default_service
+from .pools import WarmEntry, WarmPool, pool_fingerprint
+
+__all__ = [
+    "SolverService",
+    "default_service",
+    "reset_default_service",
+    "WarmEntry",
+    "WarmPool",
+    "pool_fingerprint",
+    "CoalesceWindow",
+    "coalesce_key",
+    "coalescible",
+    "solve_group",
+]

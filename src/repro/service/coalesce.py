@@ -1,0 +1,190 @@
+"""Cross-request coalescing: many solves as columns of one batched GEMM.
+
+Concurrent requests that share a warm-pool fingerprint *and* an angle
+strategy differ only in their RNG seed.  For the random-restart strategy —
+whose refinement already runs on the lock-step vectorized multi-start engine
+— that means each request's seed matrix can be stacked into one big
+``(sum(iters), num_angles)`` batch, refined by a single
+:func:`~repro.angles.multistart.multistart_minimize` call, and sliced back
+per request.  Per-column BFGS state is independent by construction, so each
+request's values match its one-shot :func:`repro.api.solve` to floating-point
+round-off (bit-identical when the group holds a single request).
+
+Strategies the batcher can't merge (grid, basinhop, iterative, ...) still
+ride the warm pool: they run sequentially on the pooled ansatz, skipping all
+setup.  :class:`CoalesceWindow` is the async front half — it holds arriving
+requests for a short window, groups them by :func:`coalesce_key`, and hands
+each group to a blocking batch executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..angles.multistart import multistart_minimize
+from ..angles.random_restart import (
+    random_restart_seeds,
+    restart_results_from_report,
+    summarize_restarts,
+)
+from ..api.solver import SolveResult
+from ..api.spec import SolveSpec
+from ..api.strategies import STRATEGIES, _normalized
+from .pools import WarmEntry, pool_fingerprint
+
+__all__ = ["coalesce_key", "coalescible", "solve_group", "CoalesceWindow"]
+
+#: Strategy params the coalesced multi-start path understands.  Anything else
+#: (``refine_top``, ``vectorized``, ``gradient``, ...) changes the refinement
+#: itself, so those requests fall back to sequential execution.
+_COALESCIBLE_PARAMS = frozenset({"iters", "maxiter"})
+
+_RANDOM_DEFAULT_ITERS = 100
+_RANDOM_DEFAULT_MAXITER = 200
+
+
+def _canonical_strategy(spec: SolveSpec) -> str:
+    name = spec.strategy.name
+    return STRATEGIES.canonical(name) if name in STRATEGIES else name
+
+
+def coalesce_key(spec: SolveSpec) -> str:
+    """Hash identifying requests that may merge into one strategy batch.
+
+    The pool fingerprint plus the exact strategy configuration — everything
+    except the seed, which is precisely what distinguishes the columns of the
+    merged batch.
+    """
+    payload = {
+        "fingerprint": pool_fingerprint(spec),
+        "strategy": {"name": _canonical_strategy(spec), "params": dict(spec.strategy.params)},
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def coalescible(spec: SolveSpec) -> bool:
+    """Whether ``spec`` can join a merged multi-start batch.
+
+    True for the random-restart strategy in its default vectorized-adjoint
+    configuration (only ``iters``/``maxiter`` tuned) — the configuration whose
+    per-column refinement is provably independent across batch columns.
+    """
+    if _canonical_strategy(spec) != "random":
+        return False
+    return set(spec.strategy.params) <= _COALESCIBLE_PARAMS
+
+
+def solve_group(entry: WarmEntry, specs: Sequence[SolveSpec]) -> list[SolveResult]:
+    """Solve a group of same-:func:`coalesce_key` specs on one warm entry.
+
+    The caller holds ``entry.lock``.  Multi-request coalescible groups run as
+    one stacked multi-start refinement; everything else (single requests and
+    non-coalescible strategies) runs sequentially through the normal
+    :meth:`~repro.api.solver.QAOASolver.run` path — bit-identical to a
+    one-shot :func:`repro.api.solve` of the same spec.
+    """
+    specs = list(specs)
+    if len(specs) > 1 and all(coalescible(spec) for spec in specs):
+        return _solve_coalesced(entry, specs)
+    return [entry.solver_for(spec).run() for spec in specs]
+
+
+def _solve_coalesced(entry: WarmEntry, specs: list[SolveSpec]) -> list[SolveResult]:
+    """Run every spec's random restarts as columns of one multi-start batch."""
+    started = time.perf_counter()
+    ansatz = entry.ansatz
+    params = specs[0].strategy.params  # identical across the group by key
+    iters = int(params.get("iters", _RANDOM_DEFAULT_ITERS))
+    maxiter = int(params.get("maxiter", _RANDOM_DEFAULT_MAXITER))
+
+    seeds = np.vstack(
+        [
+            random_restart_seeds(ansatz, iters, np.random.default_rng(spec.seed))
+            for spec in specs
+        ]
+    )
+    report = multistart_minimize(ansatz, seeds, maxiter=maxiter)
+
+    results = []
+    for index, spec in enumerate(specs):
+        start = index * iters
+        per_restart = restart_results_from_report(ansatz, report, start=start, count=iters)
+        evaluations = int(report.column_evaluations[start : start + iters].sum())
+        summary = summarize_restarts(ansatz, per_restart, evaluations)
+        angle_result = _normalized(summary, "random", ansatz)
+        solver = entry.solver_for(spec)
+        results.append(solver.result_from_angles(angle_result, started=started))
+    return results
+
+
+class CoalesceWindow:
+    """Async request batcher: hold, group by key, flush to a blocking solver.
+
+    ``solve_batch`` is a blocking callable ``list[SolveSpec] ->
+    list[SolveResult]`` (typically :meth:`SolverService.solve_many`); it runs
+    in the event loop's executor so the loop stays responsive.  The first
+    request of a key starts a ``window_s`` timer; every same-key request
+    arriving before it fires joins the batch, and a batch reaching
+    ``max_batch`` flushes immediately.  All bookkeeping happens on the event
+    loop thread, so no locks are needed.
+    """
+
+    def __init__(
+        self,
+        solve_batch: Callable[[list[SolveSpec]], list[SolveResult]],
+        *,
+        window_s: float = 0.01,
+        max_batch: int = 64,
+    ):
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._solve_batch = solve_batch
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._pending: dict[str, list[tuple[SolveSpec, asyncio.Future]]] = {}
+        self.flushes = 0
+
+    async def submit(self, spec: SolveSpec) -> SolveResult:
+        """Enqueue one request and await its result."""
+        loop = asyncio.get_running_loop()
+        key = coalesce_key(spec)
+        future: asyncio.Future = loop.create_future()
+        batch = self._pending.setdefault(key, [])
+        batch.append((spec, future))
+        if len(batch) >= self.max_batch:
+            del self._pending[key]
+            loop.create_task(self._dispatch(batch))
+        elif len(batch) == 1:
+            loop.create_task(self._flush_after(key))
+        return await future
+
+    async def _flush_after(self, key: str) -> None:
+        if self.window_s:
+            await asyncio.sleep(self.window_s)
+        batch = self._pending.pop(key, None)
+        if batch:
+            await self._dispatch(batch)
+
+    async def _dispatch(self, batch: list[tuple[SolveSpec, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        specs = [spec for spec, _ in batch]
+        self.flushes += 1
+        try:
+            results = await loop.run_in_executor(None, self._solve_batch, specs)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out per request
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

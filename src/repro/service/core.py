@@ -1,0 +1,195 @@
+"""The :class:`SolverService`: warm pool + coalescer + result cache, one front.
+
+``solve_many`` is the synchronous workhorse (what the sweep runner and the
+benchmark call): answer what the spec-keyed result cache already knows, group
+the rest by :func:`~repro.service.coalesce.coalesce_key`, run each group on
+its warm-pool entry — coalesced into one multi-start batch where possible —
+and store the fresh rows back.  ``submit`` is the async front the HTTP server
+uses; it funnels through a :class:`~repro.service.coalesce.CoalesceWindow`
+so requests arriving within a few milliseconds of each other merge even
+though they came from independent clients.
+
+:func:`default_service` is the process-wide shared instance; worker processes
+of a sweep each get their own (module state does not survive ``fork``/spawn
+boundaries as shared state, but per-worker reuse is exactly what a
+params-only grid needs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..api.solver import SolveResult
+from ..api.spec import SolveSpec
+from ..io.cache import ResultCache, result_cache_from_env
+from .coalesce import CoalesceWindow, coalesce_key, coalescible, solve_group
+from .pools import WarmPool
+
+__all__ = ["SolverService", "default_service", "reset_default_service"]
+
+#: Sentinel: resolve the result cache from ``REPRO_RESULT_CACHE`` at init.
+_FROM_ENV = object()
+
+
+class SolverService:
+    """A long-lived solver front end amortizing setup across requests.
+
+    Parameters
+    ----------
+    pool:
+        A ready :class:`WarmPool` (one is built from ``max_entries`` /
+        ``max_bytes`` when omitted).
+    result_cache:
+        A :class:`~repro.io.cache.ResultCache`, ``None`` to disable, or the
+        default — resolve from the ``REPRO_RESULT_CACHE`` environment
+        variable via :func:`~repro.io.cache.result_cache_from_env`.
+    window_s, max_batch:
+        Coalescing window for the async :meth:`submit` path: how long the
+        first request of a key waits for company, and the batch size that
+        flushes immediately.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: WarmPool | None = None,
+        max_entries: int = 8,
+        max_bytes: int | None = None,
+        result_cache: ResultCache | None | Any = _FROM_ENV,
+        window_s: float = 0.01,
+        max_batch: int = 64,
+    ):
+        self.pool = pool if pool is not None else WarmPool(
+            max_entries=max_entries, max_bytes=max_bytes
+        )
+        if result_cache is _FROM_ENV:
+            result_cache = result_cache_from_env()
+        self.result_cache = result_cache
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._windows: dict[int, CoalesceWindow] = {}
+        self._stats_lock = threading.Lock()
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_stores = 0
+        self.coalesced_groups = 0
+        self.coalesced_requests = 0
+        self.solved = 0
+
+    # -- synchronous API ----------------------------------------------
+    @staticmethod
+    def _as_spec(spec: SolveSpec | Mapping[str, Any]) -> SolveSpec:
+        return spec if isinstance(spec, SolveSpec) else SolveSpec.from_dict(spec)
+
+    def solve(self, spec: SolveSpec | Mapping[str, Any]) -> SolveResult:
+        """One solve through the cache + warm pool (no cross-request merging)."""
+        return self.solve_many([spec])[0]
+
+    def solve_many(
+        self, specs: Iterable[SolveSpec | Mapping[str, Any]]
+    ) -> list[SolveResult]:
+        """Solve a batch of specs, coalescing same-key members into one GEMM.
+
+        Results come back in input order.  Cache hits are answered without
+        touching the pool or the simulator; everything else is grouped by
+        :func:`coalesce_key`, executed per group on its warm entry, and
+        written back to the result cache.
+        """
+        specs = [self._as_spec(spec) for spec in specs]
+        results: list[SolveResult | None] = [None] * len(specs)
+
+        pending: dict[str, list[int]] = {}
+        hits = 0
+        for index, spec in enumerate(specs):
+            if self.result_cache is not None:
+                row = self.result_cache.get(spec)
+                if row is not None:
+                    results[index] = SolveResult.from_row(spec, row, cached=True)
+                    hits += 1
+                    continue
+            pending.setdefault(coalesce_key(spec), []).append(index)
+        with self._stats_lock:
+            self.requests += len(specs)
+            self.cache_hits += hits
+
+        for indices in pending.values():
+            group = [specs[i] for i in indices]
+            entry = self.pool.entry_for(group[0])
+            with entry.lock:
+                group_results = solve_group(entry, group)
+            stores = 0
+            for index, result in zip(indices, group_results):
+                results[index] = result
+                if self.result_cache is not None:
+                    self.result_cache.put(specs[index], result.to_row())
+                    stores += 1
+            merged = len(group) > 1 and all(coalescible(spec) for spec in group)
+            with self._stats_lock:
+                self.solved += len(group)
+                self.cache_stores += stores
+                if merged:
+                    self.coalesced_groups += 1
+                    self.coalesced_requests += len(group)
+
+        return results  # type: ignore[return-value]
+
+    # -- async API -----------------------------------------------------
+    def _window_for_running_loop(self) -> CoalesceWindow:
+        # One window per event loop: futures and timers are loop-bound, so a
+        # window must never mix requests from different loops.
+        loop = asyncio.get_running_loop()
+        window = self._windows.get(id(loop))
+        if window is None:
+            window = CoalesceWindow(
+                self.solve_many, window_s=self.window_s, max_batch=self.max_batch
+            )
+            self._windows[id(loop)] = window
+        return window
+
+    async def submit(self, spec: SolveSpec | Mapping[str, Any]) -> SolveResult:
+        """Async solve: briefly held for coalescing, then executed off-loop.
+
+        Concurrent ``submit`` calls whose specs share a coalesce key within
+        ``window_s`` are answered from one batched solve.
+        """
+        return await self._window_for_running_loop().submit(self._as_spec(spec))
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serializable counters (the ``/stats`` endpoint's payload)."""
+        with self._stats_lock:
+            counters = {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "cache_stores": self.cache_stores,
+                "coalesced_groups": self.coalesced_groups,
+                "coalesced_requests": self.coalesced_requests,
+                "solved": self.solved,
+            }
+        return {
+            **counters,
+            "result_cache": None if self.result_cache is None else str(self.result_cache.directory),
+            "pool": self.pool.stats(),
+        }
+
+
+_default_service: SolverService | None = None
+_default_service_lock = threading.Lock()
+
+
+def default_service() -> SolverService:
+    """The process-wide shared :class:`SolverService` (created on first use)."""
+    global _default_service
+    with _default_service_lock:
+        if _default_service is None:
+            _default_service = SolverService()
+        return _default_service
+
+
+def reset_default_service() -> None:
+    """Drop the shared service (tests, or to pick up changed env config)."""
+    global _default_service
+    with _default_service_lock:
+        _default_service = None

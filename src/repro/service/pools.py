@@ -1,0 +1,181 @@
+"""Warm solver pools: built problem/mixer/ansatz kept alive per fingerprint.
+
+Setting up one solve — regenerating the problem instance, pre-computing its
+objective values over the feasible space, diagonalizing the mixer — dwarfs the
+per-request work once the batched kernels are in play.  The pool keys that
+setup by a ``(problem, mixer, p)`` fingerprint (the angle strategy and its
+seed don't change any of it) and hands every request for the same fingerprint
+the same live :class:`WarmEntry`.
+
+Residency is bounded two ways: an entry-count LRU and a byte budget accounted
+with the analytic estimates of :func:`repro.hpc.memory.warm_entry_bytes`
+(objective values + workspaces + the dense eigendecomposition for
+diagonalized mixer families).  Estimates are recomputed at eviction time
+because an entry's :class:`~repro.core.workspace.BatchedWorkspace` grows with
+the largest batch it has served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+from ..api.mixers import make_mixer
+from ..api.solver import QAOASolver, memoized_problem
+from ..api.spec import SolveSpec
+from ..core.ansatz import QAOAAnsatz
+from ..hpc.memory import warm_entry_bytes
+from ..mixers.base import DiagonalizedMixer
+
+__all__ = ["pool_fingerprint", "WarmEntry", "WarmPool"]
+
+
+def pool_fingerprint(spec: SolveSpec) -> str:
+    """Hash of the setup-determining part of a spec: problem, mixer, rounds.
+
+    Two specs with equal fingerprints share problem instance, feasible space,
+    mixer spectra and workspaces — everything the warm pool keeps alive.  The
+    strategy and its seed only steer the angle search, so they are excluded.
+    """
+    payload = {
+        "problem": spec.problem.to_dict(),
+        "mixer": spec.mixer.to_dict(),
+        "p": spec.p,
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class WarmEntry:
+    """One fingerprint's live components plus its execution lock.
+
+    The entry's ansatz owns mutable workspaces, so at most one request group
+    may execute on it at a time — callers hold :attr:`lock` around strategy
+    runs and simulations.  ``hits`` counts how many requests the entry served.
+    """
+
+    def __init__(self, fingerprint: str, spec: SolveSpec):
+        self.fingerprint = fingerprint
+        self.problem = memoized_problem(spec.problem)
+        self.mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
+        self.ansatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
+        self.lock = threading.Lock()
+        self.hits = 0
+
+    def solver_for(self, spec: SolveSpec) -> QAOASolver:
+        """A :class:`QAOASolver` for ``spec`` running on this entry's components."""
+        return QAOASolver.from_components(spec, self.problem, self.mixer, self.ansatz)
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Current analytic residency estimate (grows with the batched workspace)."""
+        workspace = self.ansatz._batched_workspace
+        dense = isinstance(self.mixer, DiagonalizedMixer)
+        return warm_entry_bytes(
+            self.ansatz.schedule.dim,
+            p=self.ansatz.p,
+            batch_capacity=0 if workspace is None else workspace.capacity,
+            dense_eigenvectors=dense,
+            complex_vectors=dense and not self.mixer._real_basis,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WarmEntry({self.fingerprint[:12]}..., dim={self.ansatz.schedule.dim})"
+
+
+class WarmPool:
+    """Fingerprint-keyed LRU of :class:`WarmEntry` with a byte budget.
+
+    ``max_entries`` bounds the entry count; ``max_bytes`` (optional) bounds
+    the summed :attr:`WarmEntry.estimated_bytes`.  The most recently used
+    entry is never evicted — a single fingerprint over budget still solves,
+    it just can't keep neighbours warm.  Thread-safe; entry construction
+    happens outside the pool lock so a slow eigendecomposition doesn't block
+    hits on other fingerprints (two racing builders of one fingerprint keep
+    the first insert).
+    """
+
+    def __init__(self, *, max_entries: int = 8, max_bytes: int | None = None):
+        if max_entries < 1:
+            raise ValueError("the pool must be allowed at least one entry")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive when given")
+        self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._entries: OrderedDict[str, WarmEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def entry_for(self, spec: SolveSpec) -> WarmEntry:
+        """The live entry for ``spec``'s fingerprint, building it on first use."""
+        fingerprint = pool_fingerprint(spec)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                entry.hits += 1
+                return entry
+        built = WarmEntry(fingerprint, spec)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                # Lost the build race; the established entry wins so every
+                # request keeps sharing one set of workspaces.
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                entry.hits += 1
+                return entry
+            self.misses += 1
+            built.hits += 1
+            self._entries[fingerprint] = built
+            self._evict_locked()
+        return built
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        if self.max_bytes is None:
+            return
+        while len(self._entries) > 1 and self._total_bytes_locked() > self.max_bytes:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def _total_bytes_locked(self) -> int:
+        return sum(entry.estimated_bytes for entry in self._entries.values())
+
+    def total_bytes(self) -> int:
+        """Summed analytic residency estimate of every pooled entry."""
+        with self._lock:
+            return self._total_bytes_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """JSON-serializable pool counters (what ``/stats`` reports)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "total_bytes": self._total_bytes_locked(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,214 @@
+"""Stdlib-only asyncio HTTP front end for the solver service (``repro serve``).
+
+A deliberately small HTTP/1.1 implementation on ``asyncio.start_server`` — no
+framework, no threads beyond the service's own executor use.  Endpoints:
+
+* ``GET /healthz`` — liveness: ``{"status": "ok"}``;
+* ``GET /stats`` — the service's counters and pool occupancy;
+* ``POST /solve`` — body is a :class:`~repro.api.spec.SolveSpec` JSON
+  document, ``{"spec": {...}}``, or ``{"specs": [{...}, ...]}``.  Requests
+  are forwarded through :meth:`SolverService.submit`, so concurrent clients
+  (and the members of one ``specs`` list) coalesce into shared batches.
+
+Responses carry the flat result row (:meth:`SolveResult.to_row`) plus a
+``cached`` flag.  Malformed input is a 400 with a JSON error body; unknown
+paths 404; wrong methods 405.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..api.spec import SolveSpec
+from .core import SolverService, default_service
+
+__all__ = ["handle_connection", "run_server", "serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
+    """Parse one request; returns ``(method, path, body)``."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise _HttpError(413, "headers too large") from exc
+    except asyncio.IncompleteReadError as exc:
+        raise _HttpError(400, "truncated request") from exc
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    content_length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise _HttpError(400, "bad Content-Length") from exc
+    if content_length > _MAX_BODY_BYTES:
+        raise _HttpError(413, "body too large")
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError as exc:
+            raise _HttpError(400, "truncated body") from exc
+    return method, path.split("?", 1)[0], body
+
+
+def _parse_solve_body(body: bytes) -> tuple[list[SolveSpec], bool]:
+    """The specs of a ``POST /solve`` body; ``(specs, many)``."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "body must be a JSON object")
+
+    if "specs" in payload:
+        raw_specs = payload["specs"]
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise _HttpError(400, "'specs' must be a non-empty list")
+        many = True
+    elif "spec" in payload:
+        raw_specs = [payload["spec"]]
+        many = False
+    else:
+        raw_specs = [payload]
+        many = False
+
+    specs = []
+    for raw in raw_specs:
+        try:
+            specs.append(SolveSpec.from_dict(raw))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad solve spec: {exc}") from exc
+    return specs, many
+
+
+def _result_payload(result) -> dict:
+    return {**result.to_row(), "cached": bool(result.cached)}
+
+
+async def _handle_request(service: SolverService, method: str, path: str, body: bytes) -> bytes:
+    if path == "/healthz":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        return _response(200, {"status": "ok"})
+    if path == "/stats":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        return _response(200, service.stats())
+    if path == "/solve":
+        if method != "POST":
+            raise _HttpError(405, "use POST")
+        specs, many = _parse_solve_body(body)
+        try:
+            # Submitting concurrently lets the members of one request body
+            # coalesce with each other and with other clients' requests.
+            results = await asyncio.gather(*(service.submit(spec) for spec in specs))
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from exc
+        if many:
+            return _response(200, {"results": [_result_payload(r) for r in results]})
+        return _response(200, _result_payload(results[0]))
+    raise _HttpError(404, f"unknown path {path!r}")
+
+
+async def handle_connection(
+    service: SolverService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one HTTP connection (one request; the server is Connection: close)."""
+    try:
+        try:
+            method, path, body = await _read_request(reader)
+            payload = await _handle_request(service, method, path, body)
+        except _HttpError as exc:
+            payload = _response(exc.status, {"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 - never kill the server loop
+            payload = _response(500, {"error": f"internal error: {exc}"})
+        writer.write(payload)
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_server(
+    service: SolverService | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready: asyncio.Event | None = None,
+    log=print,
+) -> None:
+    """Run the HTTP front end until cancelled.
+
+    ``ready`` (optional) is set once the socket is listening — tests and the
+    smoke job use it to know when to connect.
+    """
+    if service is None:
+        service = default_service()
+
+    async def _on_connection(reader, writer):
+        await handle_connection(service, reader, writer)
+
+    server = await asyncio.start_server(_on_connection, host, port)
+    bound = ", ".join(str(sock.getsockname()) for sock in server.sockets)
+    if log is not None:
+        log(f"repro serve listening on {bound} (POST /solve, GET /healthz, GET /stats)")
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+def serve(
+    service: SolverService | None = None, *, host: str = "127.0.0.1", port: int = 8642
+) -> None:
+    """Blocking entry point (what ``repro serve`` calls)."""
+    try:
+        asyncio.run(run_server(service, host=host, port=port))
+    except KeyboardInterrupt:
+        pass

@@ -81,6 +81,14 @@ class TestJsonRoundTrip:
         assert spec.strategy.name == "random"
         assert spec.p == 1 and spec.seed == 0
 
+    def test_from_dict_accepts_bare_name_strings(self):
+        """Hand-written documents (HTTP bodies, CLI files) may abbreviate."""
+        spec = SolveSpec.from_dict(
+            {"problem": {"name": "maxcut", "n": 5}, "mixer": "grover", "strategy": "basinhop"}
+        )
+        assert spec.mixer == MixerSpec("grover")
+        assert spec.strategy == StrategySpec("basinhop")
+
     def test_round_tripped_spec_solves_identically(self):
         """to_json -> from_json -> solve reproduces the run seed-for-seed."""
         spec = SolveSpec(
