@@ -212,15 +212,20 @@ class QAOASolver:
 
         solver = QAOASolver(spec)
         results = [solver.run(seed=s) for s in range(10)]
+
+    ``backend`` optionally pins the array backend the ansatz kernels run on
+    (defaults to the process-wide active backend, i.e. ``REPRO_BACKEND``).
     """
 
-    def __init__(self, spec: SolveSpec | Mapping[str, Any]):
+    def __init__(self, spec: SolveSpec | Mapping[str, Any], *, backend=None):
         if not isinstance(spec, SolveSpec):
             spec = SolveSpec.from_dict(spec)
         self.spec = spec
         self.problem: ProblemInstance = memoized_problem(spec.problem)
         self.mixer: Mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
-        self.ansatz: QAOAAnsatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
+        self.ansatz: QAOAAnsatz = QAOAAnsatz.from_problem(
+            self.problem, self.mixer, spec.p, backend=backend
+        )
 
     @classmethod
     def from_components(

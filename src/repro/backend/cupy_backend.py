@@ -1,0 +1,114 @@
+"""CuPy backend: cuBLAS kernels with cached device constants.
+
+Mirrors the CUDA half of :class:`~repro.backend.torch_backend.TorchBackend`:
+operator factors (first ``matmul`` operand) are LRU-cached on the device,
+activations stream per call, results land back in the caller's host numpy
+buffers.  Requires a CUDA device at construction time — :func:`repro.backend.
+get_backend` surfaces a clear error otherwise, and ``REPRO_BACKEND=cupy`` on
+a GPU-less machine warns and falls back to numpy.
+
+:mod:`cupy` is imported lazily, in the constructor — importing this module
+is safe on machines without cupy; constructing the backend is not.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from collections import OrderedDict
+
+import numpy as np
+
+from .base import ArrayBackend
+
+__all__ = ["CupyBackend"]
+
+_CONST_CACHE_ENTRIES = 64
+
+
+class CupyBackend(ArrayBackend):
+    name = "cupy"
+
+    def __init__(self, device: int = 0):
+        import cupy
+
+        self._cupy = cupy
+        if cupy.cuda.runtime.getDeviceCount() < 1:  # pragma: no cover - needs HW
+            raise RuntimeError("cupy is installed but no CUDA device is visible")
+        self._device_id = int(device)
+        self._const_cache: OrderedDict[int, tuple[np.ndarray, object]] = OrderedDict()
+
+    @classmethod
+    def available(cls) -> bool:
+        return importlib.util.find_spec("cupy") is not None
+
+    @property
+    def device(self) -> str:
+        return f"cuda:{self._device_id}"
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def _wrap(self, x):
+        if isinstance(x, self._cupy.ndarray):
+            return x
+        return self._cupy.asarray(np.ascontiguousarray(x))
+
+    def _constant(self, x):
+        if not isinstance(x, np.ndarray):
+            return self._wrap(x)
+        key = id(x)
+        hit = self._const_cache.get(key)
+        if hit is not None and hit[0] is x:
+            self._const_cache.move_to_end(key)
+            return hit[1]
+        device_arr = self._wrap(x)
+        self._const_cache[key] = (x, device_arr)
+        while len(self._const_cache) > _CONST_CACHE_ENTRIES:
+            self._const_cache.popitem(last=False)
+        return device_arr
+
+    def asarray(self, x, dtype=None):
+        if dtype is not None:
+            x = np.asarray(self.to_numpy(x), dtype=dtype)
+        return self._wrap(x)
+
+    def to_numpy(self, x) -> np.ndarray:
+        if isinstance(x, self._cupy.ndarray):
+            return self._cupy.asnumpy(x)
+        return np.asarray(x)
+
+    # ------------------------------------------------------------------
+    # dense primitives
+    # ------------------------------------------------------------------
+    def matmul(self, a, b, out=None):
+        result = self._cupy.matmul(self._constant(a), self._wrap(b))
+        if out is None:
+            return self.to_numpy(result)
+        np.copyto(out, self._cupy.asnumpy(result))
+        return out
+
+    def einsum(self, subscripts, *operands):
+        result = self._cupy.einsum(subscripts, *[self._wrap(op) for op in operands])
+        return self.to_numpy(result)
+
+    def tensordot(self, a, b, axes):
+        result = self._cupy.tensordot(self._constant(a), self._wrap(b), axes=axes)
+        return self.to_numpy(result)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def info(self) -> dict:  # pragma: no cover - needs HW
+        cupy = self._cupy
+        details = {"cupy": cupy.__version__}
+        try:
+            props = cupy.cuda.runtime.getDeviceProperties(self._device_id)
+            details["cuda_device"] = props["name"].decode()
+            details["const_cache_entries"] = len(self._const_cache)
+        except cupy.cuda.runtime.CUDARuntimeError:
+            pass
+        return details

@@ -22,9 +22,19 @@ __all__ = ["apply_gate", "StatevectorBackend"]
 
 
 def apply_gate(
-    state: np.ndarray, gate: Gate, n: int, *, diagonal_fast_path: bool = True
+    state: np.ndarray,
+    gate: Gate,
+    n: int,
+    *,
+    diagonal_fast_path: bool = True,
+    backend=None,
 ) -> np.ndarray:
-    """Apply one gate to a length-``2^n`` statevector and return the new state."""
+    """Apply one gate to a length-``2^n`` statevector and return the new state.
+
+    ``backend`` optionally supplies the
+    :class:`~repro.backend.base.ArrayBackend` that executes the gate-tensor
+    contraction (defaults to plain numpy).
+    """
     state = np.asarray(state, dtype=np.complex128)
     if state.shape != (1 << n,):
         raise ValueError(f"state has shape {state.shape}, expected ({1 << n},)")
@@ -50,7 +60,8 @@ def apply_gate(
     # Gate index ordering: qubits[0] is the least-significant bit of the gate
     # matrix index, so axis order (MSB first) is qubits[k-1], ..., qubits[0].
     in_axes = [n - 1 - q for q in reversed(gate.qubits)]
-    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), in_axes))
+    contract = np.tensordot if backend is None else backend.tensordot
+    moved = contract(gate_tensor, tensor, axes=(list(range(k, 2 * k)), in_axes))
     remaining = [axis for axis in range(n) if axis not in in_axes]
     current_order = in_axes + remaining
     result = np.transpose(moved, np.argsort(current_order))
@@ -66,12 +77,21 @@ class StatevectorBackend:
         Whether diagonal gates use the cheap phase-multiply path.  The
         "QAOAKit-like" baseline disables it to emulate a framework that treats
         every gate as a dense matrix.
+    backend:
+        Optional :class:`~repro.backend.base.ArrayBackend` for the gate
+        contractions; defaults to the process-wide active backend at
+        construction time.
     """
 
     name = "statevector"
 
-    def __init__(self, diagonal_fast_path: bool = True):
+    def __init__(self, diagonal_fast_path: bool = True, *, backend=None):
         self.diagonal_fast_path = bool(diagonal_fast_path)
+        if backend is None:
+            from ..backend import active_backend
+
+            backend = active_backend()
+        self.backend = backend
         #: number of individual gate applications performed (for benchmarks)
         self.gates_applied = 0
 
@@ -86,7 +106,13 @@ class StatevectorBackend:
             if state.shape != (dim,):
                 raise ValueError(f"initial state has shape {state.shape}, expected ({dim},)")
         for gate in circuit:
-            state = apply_gate(state, gate, circuit.n, diagonal_fast_path=self.diagonal_fast_path)
+            state = apply_gate(
+                state,
+                gate,
+                circuit.n,
+                diagonal_fast_path=self.diagonal_fast_path,
+                backend=self.backend,
+            )
             self.gates_applied += 1
         return state
 

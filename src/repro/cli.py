@@ -32,6 +32,11 @@ Commands
     result cache.  ``GET /healthz`` / ``GET /stats`` report liveness and the
     hit/miss/coalescing counters.
 
+``repro backend-info``
+    Print the resolved array backend (``REPRO_BACKEND``), its device and the
+    relevant library/BLAS versions as JSON — what the CI backend-matrix jobs
+    log before running the suites.
+
 ``repro status``
     Summarize every run store under ``--out`` (tasks completed, rows, state).
 
@@ -198,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR|0|1",
         help="spec-keyed result cache: a directory, 1 for the default cache dir, "
         "0 to disable (default: the REPRO_RESULT_CACHE environment variable)",
+    )
+
+    sub.add_parser(
+        "backend-info",
+        help="print the resolved array backend and its library/BLAS details",
     )
 
     p_status = sub.add_parser("status", help="summarize run stores under --out")
@@ -481,6 +491,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures and args.experiments else 0
 
 
+def _cmd_backend_info(args: argparse.Namespace) -> int:
+    del args
+    from .backend import backend_info
+
+    print(json.dumps(backend_info(), indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -489,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "solve": _cmd_solve,
         "serve": _cmd_serve,
+        "backend-info": _cmd_backend_info,
         "status": _cmd_status,
         "report": _cmd_report,
     }

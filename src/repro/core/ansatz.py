@@ -46,6 +46,10 @@ class QAOAAnsatz:
         Optional custom initial state (warm starts).
     maximize:
         Whether the underlying problem is a maximization (default True).
+    backend:
+        Optional :class:`~repro.backend.base.ArrayBackend` the ansatz's
+        workspaces (and through them every kernel call) run on; defaults to
+        the process-wide active backend at construction time.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class QAOAAnsatz:
         *,
         initial_state: np.ndarray | None = None,
         maximize: bool = True,
+        backend=None,
     ):
         if isinstance(mixer, MixerSchedule):
             schedule = mixer
@@ -94,7 +99,12 @@ class QAOAAnsatz:
                 initial_state = initial_state / norm
         self.initial_state = initial_state
         self.maximize = bool(maximize)
-        self.workspace = Workspace(schedule.dim)
+        if backend is None:
+            from ..backend import active_backend
+
+            backend = active_backend()
+        self.backend = backend
+        self.workspace = Workspace(schedule.dim, backend=backend)
         # Lazily created on the first expectation_batch call; grown (never
         # shrunk) to the largest batch seen, then reused across every sweep.
         self._batched_workspace: BatchedWorkspace | None = None
@@ -110,6 +120,7 @@ class QAOAAnsatz:
         p: int | None = None,
         *,
         initial_state: np.ndarray | None = None,
+        backend=None,
     ) -> "QAOAAnsatz":
         """Build an ansatz from a :class:`~repro.problems.registry.ProblemInstance`.
 
@@ -123,7 +134,10 @@ class QAOAAnsatz:
             space=problem.space,
             maximize=problem.maximize,
         )
-        return cls(cost, mixer, p, initial_state=initial_state, maximize=problem.maximize)
+        return cls(
+            cost, mixer, p, initial_state=initial_state, maximize=problem.maximize,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -161,7 +175,9 @@ class QAOAAnsatz:
 
     def _ensure_batched_workspace(self, batch: int) -> BatchedWorkspace:
         if self._batched_workspace is None:
-            self._batched_workspace = BatchedWorkspace(self.schedule.dim, batch)
+            self._batched_workspace = BatchedWorkspace(
+                self.schedule.dim, batch, backend=self.backend
+            )
         else:
             self._batched_workspace.ensure(batch)
         return self._batched_workspace
@@ -283,6 +299,7 @@ class QAOAAnsatz:
             p,
             initial_state=self.initial_state,
             maximize=self.maximize,
+            backend=self.backend,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend import active_backend
 from ..mixers.base import Mixer
 from ..mixers.schedules import MixerSchedule
 from .precompute import PrecomputedCost
@@ -252,6 +253,33 @@ def _as_cost(obj_vals, space) -> PrecomputedCost:
     return PrecomputedCost(values=np.asarray(obj_vals, dtype=np.float64), space=space)
 
 
+def _dim_of(mixer: Mixer | Sequence[Mixer] | MixerSchedule) -> int:
+    """Simulation dimension of a mixer / mixer list / schedule argument."""
+    if isinstance(mixer, (MixerSchedule, Mixer)):
+        return mixer.dim
+    return next(iter(mixer)).dim
+
+
+def _scalar_call_workspace(
+    workspace: Workspace | BatchedWorkspace | None, dim: int
+) -> BatchedWorkspace | None:
+    """Adapt a scalar entry point's workspace argument for the batched engine.
+
+    A :class:`Workspace` is checked against ``dim``, counted as served, and
+    swapped for its cached single-column companion; a ``BatchedWorkspace``
+    passes straight through (the batched engine re-validates it); ``None``
+    stays ``None``.
+    """
+    if workspace is None or isinstance(workspace, BatchedWorkspace):
+        return workspace
+    if not workspace.compatible_with(dim):
+        raise ValueError(
+            f"workspace dimension {workspace.dim} does not match simulation dimension {dim}"
+        )
+    workspace.calls_served += 1
+    return workspace.batched()
+
+
 def evolve_state(
     betas: Sequence[np.ndarray] | np.ndarray,
     gammas: np.ndarray,
@@ -269,6 +297,13 @@ def evolve_state(
     vector.  If ``layer_store`` (shape ``(p, 2, dim)``) is given, the state
     after each phase separator and after each mixer is recorded — this is what
     the analytic gradient consumes.
+
+    This is the M=1 column call of :func:`evolve_state_batch` (there is
+    exactly one evolution code path per mixer family); the single-column
+    buffers come from the workspace's cached
+    :meth:`~repro.core.workspace.Workspace.batched` companion, so repeated
+    calls still allocate nothing.  The returned ``(dim,)`` state is a view
+    into that companion's state buffer — copy it to keep it across calls.
     """
     gammas = np.asarray(gammas, dtype=np.float64).ravel()
     if len(gammas) != schedule.p:
@@ -283,24 +318,26 @@ def evolve_state(
     if cost_values.shape != (dim,):
         raise ValueError(f"objective values have shape {cost_values.shape}, expected ({dim},)")
 
-    if workspace is None:
-        workspace = Workspace(dim)
-    elif not workspace.compatible_with(dim):
-        raise ValueError(
-            f"workspace dimension {workspace.dim} does not match simulation dimension {dim}"
-        )
+    batched = _scalar_call_workspace(workspace, dim)
 
-    psi = workspace.load_state(np.asarray(initial_state, dtype=np.complex128))
-    for round_index, (mixer, beta_k, gamma_k) in enumerate(zip(schedule, betas, gammas)):
-        # Phase separator: diagonal in the computational basis by construction.
-        psi *= np.exp(-1j * gamma_k * cost_values)
-        if layer_store is not None:
-            layer_store[round_index, 0, :] = psi
-        beta_arg = float(beta_k[0]) if np.size(beta_k) == 1 else np.asarray(beta_k)
-        mixer.apply(psi, beta_arg, out=psi)
-        if layer_store is not None:
-            layer_store[round_index, 1, :] = psi
-    return psi
+    beta_cols = [
+        np.atleast_1d(np.asarray(beta_k, dtype=np.float64)).reshape(-1, 1) for beta_k in betas
+    ]
+    store = (
+        None
+        if layer_store is None
+        else layer_store[: schedule.p].reshape(schedule.p, 2, dim, 1)
+    )
+    psi = evolve_state_batch(
+        beta_cols,
+        gammas.reshape(-1, 1),
+        schedule,
+        cost_values,
+        initial_state,
+        workspace=batched,
+        layer_store=store,
+    )
+    return psi[:, 0]
 
 
 def evolve_state_batch(
@@ -410,39 +447,24 @@ def simulate(
         Optional pre-allocated :class:`~repro.core.workspace.Workspace`.
     maximize:
         Recorded on the result's cost object (used for optimal-state queries).
+
+    The M=1 row call of :func:`simulate_batch` — one simulation code path per
+    mixer family, shared by the scalar and batched engines.
     """
     angles = np.asarray(angles, dtype=np.float64).ravel()
-    if isinstance(mixer, MixerSchedule):
-        schedule = mixer
-    elif isinstance(mixer, Mixer):
-        if p is None:
-            if angles.size % 2:
-                raise ValueError(
-                    "cannot infer p from an odd-length angle vector; pass p explicitly"
-                )
-            p = angles.size // 2
-        schedule = MixerSchedule(mixer, rounds=p)
-    else:
-        schedule = MixerSchedule(mixer, rounds=p)
-
-    if isinstance(obj_vals, PrecomputedCost):
-        cost = obj_vals
-        if cost.maximize != maximize:
-            cost = PrecomputedCost(values=cost.values.copy(), space=cost.space, maximize=maximize)
-    else:
-        cost = PrecomputedCost(
-            values=np.asarray(obj_vals, dtype=np.float64),
-            space=schedule.space,
-            maximize=maximize,
-        )
-
-    betas, gammas = split_angles(angles, schedule)
-    if initial_state is None:
-        initial_state = schedule.initial_state()
-    psi = evolve_state(betas, gammas, schedule, cost.values, initial_state, workspace=workspace)
-    result = QAOAResult(statevector=psi.copy(), cost=cost, angles=angles.copy())
-    result._cache["p"] = schedule.p
-    return result
+    if isinstance(mixer, Mixer) and p is None and angles.size % 2:
+        raise ValueError("cannot infer p from an odd-length angle vector; pass p explicitly")
+    batched = _scalar_call_workspace(workspace, _dim_of(mixer))
+    results = simulate_batch(
+        angles[None, :],
+        mixer,
+        obj_vals,
+        p=p,
+        initial_state=initial_state,
+        workspace=batched,
+        maximize=maximize,
+    )
+    return results[0]
 
 
 def simulate_batch(
@@ -523,25 +545,22 @@ def expectation_value(
     initial_state: np.ndarray | None = None,
     workspace: Workspace | None = None,
 ) -> float:
-    """Fast path returning only ``<C>`` (what the angle-finding inner loop calls)."""
+    """Fast path returning only ``<C>`` (what the angle-finding inner loop calls).
+
+    The M=1 row call of :func:`expectation_value_batch` — one evaluation code
+    path per mixer family, shared by the scalar and batched engines.
+    """
     angles = np.asarray(angles, dtype=np.float64).ravel()
-    if isinstance(mixer, MixerSchedule):
-        schedule = mixer
-    elif isinstance(mixer, Mixer):
-        if p is None:
-            p = angles.size // 2
-        schedule = MixerSchedule(mixer, rounds=p)
-    else:
-        schedule = MixerSchedule(mixer, rounds=p)
-    if isinstance(obj_vals, PrecomputedCost):
-        values = obj_vals.values
-    else:
-        values = np.asarray(obj_vals, dtype=np.float64)
-    betas, gammas = split_angles(angles, schedule)
-    if initial_state is None:
-        initial_state = schedule.initial_state()
-    psi = evolve_state(betas, gammas, schedule, values, initial_state, workspace=workspace)
-    return float(np.real(np.vdot(psi, values * psi)))
+    batched = _scalar_call_workspace(workspace, _dim_of(mixer))
+    values = expectation_value_batch(
+        angles[None, :],
+        mixer,
+        obj_vals,
+        p=p,
+        initial_state=initial_state,
+        workspace=batched,
+    )
+    return float(values[0])
 
 
 def expectation_value_batch(
@@ -591,4 +610,5 @@ def expectation_value_batch(
     )
     probs = np.abs(psi)
     np.square(probs, out=probs)
-    return values @ probs
+    bk = workspace.backend if workspace is not None else active_backend()
+    return bk.matmul(values, probs)

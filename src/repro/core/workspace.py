@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import active_backend
+
 __all__ = ["Workspace", "BatchedWorkspace", "default_eval_batch"]
 
 
@@ -38,10 +40,14 @@ def default_eval_batch(dim: int, *, budget_elems: int = 1 << 22) -> int:
 class Workspace:
     """Reusable complex buffers for statevector simulation of a fixed dimension."""
 
-    def __init__(self, dim: int, store_layers: int = 0):
+    def __init__(self, dim: int, store_layers: int = 0, *, backend=None):
         if dim < 1:
             raise ValueError("workspace dimension must be positive")
         self.dim = int(dim)
+        #: the array backend this workspace's simulations run on (captured at
+        #: construction; a later process-wide switch doesn't retarget it)
+        self.backend = backend if backend is not None else active_backend()
+        self._batched: BatchedWorkspace | None = None
         #: the evolving statevector
         self.state = np.empty(self.dim, dtype=np.complex128)
         #: scratch buffer used by mixers and the adjoint pass
@@ -81,6 +87,17 @@ class Workspace:
         """Whether this workspace can serve a simulation of dimension ``dim``."""
         return self.dim == int(dim)
 
+    def batched(self) -> "BatchedWorkspace":
+        """This workspace's cached single-column :class:`BatchedWorkspace`.
+
+        The scalar simulator entry points are M=1 wrappers around the batched
+        kernels; this companion gives them pre-allocated ``(dim, 1)`` buffers
+        so the wrapping stays allocation-free across repeated calls.
+        """
+        if self._batched is None:
+            self._batched = BatchedWorkspace(self.dim, 1, backend=self.backend)
+        return self._batched
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stored = 0 if self._layer_store is None else self._layer_store.shape[0]
         return f"Workspace(dim={self.dim}, layer_slots={stored}, calls_served={self.calls_served})"
@@ -99,10 +116,13 @@ class BatchedWorkspace:
     Capacity grows on demand and never shrinks.
     """
 
-    def __init__(self, dim: int, batch: int = 1):
+    def __init__(self, dim: int, batch: int = 1, *, backend=None):
         if dim < 1:
             raise ValueError("workspace dimension must be positive")
         self.dim = int(dim)
+        #: the array backend the batched kernels dispatch through (captured at
+        #: construction; a later process-wide switch doesn't retarget it)
+        self.backend = backend if backend is not None else active_backend()
         self._capacity = 0
         self._state: np.ndarray | None = None
         self._scratch: np.ndarray | None = None

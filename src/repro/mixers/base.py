@@ -27,6 +27,7 @@ import threading
 
 import numpy as np
 
+from ..backend import active_backend
 from ..hilbert.subspace import FeasibleSpace
 
 __all__ = ["Mixer", "DiagonalizedMixer"]
@@ -38,8 +39,15 @@ class Mixer(abc.ABC):
     #: The feasible space the mixer acts on.
     space: FeasibleSpace
 
-    def __init__(self, space: FeasibleSpace):
+    def __init__(self, space: FeasibleSpace, *, backend=None):
         self.space = space
+        #: the array backend the mixer's dense kernels dispatch through when no
+        #: workspace (which carries its own backend) is supplied
+        self.backend = backend if backend is not None else active_backend()
+        # Per-thread M=1 workspace backing the scalar entry points (which are
+        # single-column calls of the batched kernels); thread-local because
+        # concurrent angle scans may share one mixer.
+        self._scalar_store = threading.local()
 
     # ------------------------------------------------------------------
     # geometry
@@ -57,19 +65,107 @@ class Mixer(abc.ABC):
     # ------------------------------------------------------------------
     # required operations
     # ------------------------------------------------------------------
-    @abc.abstractmethod
-    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
+    # A mixer family implements EITHER the scalar pair (apply /
+    # apply_hamiltonian) OR the batched pair (apply_batch /
+    # apply_hamiltonian_batch); the base class derives the other direction.
+    # The optimized families implement only the batched kernels — the scalar
+    # entry points below are their M=1 column calls, so there is exactly one
+    # code path per family and one place to port per array backend.
+
+    def _scalar_workspace(self):
+        """This thread's cached ``(dim, 1)`` workspace for the M=1 wrappers."""
+        store = self._scalar_store
+        workspace = getattr(store, "workspace", None)
+        if workspace is None:
+            from ..core.workspace import BatchedWorkspace
+
+            workspace = store.workspace = BatchedWorkspace(self.dim, 1, backend=self.backend)
+        return workspace
+
+    def _scalar_via_batch(self, kernel, psi: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Run a batched kernel on ``psi`` as a single-column batch.
+
+        ``kernel(Psi, out, workspace)`` receives C-contiguous complex128
+        ``(dim, 1)`` views; non-conforming ``psi``/``out`` buffers are staged
+        through copies so the caller-visible contract (``out`` may alias
+        ``psi``; ``psi`` is untouched otherwise) is preserved.
+        """
+        psi = self._check_state(psi)
+        if psi.dtype != np.complex128 or not psi.flags.c_contiguous:
+            psi = np.ascontiguousarray(psi, dtype=np.complex128)
+        if out is None:
+            out = np.empty(self.dim, dtype=np.complex128)
+        elif out.shape != (self.dim,):
+            raise ValueError(f"out has shape {out.shape}, expected ({self.dim},)")
+        if out.dtype == np.complex128 and out.flags.c_contiguous:
+            target = out
+        else:
+            target = np.empty(self.dim, dtype=np.complex128)
+        kernel(psi.reshape(self.dim, 1), target.reshape(self.dim, 1), self._scalar_workspace())
+        if target is not out:
+            out[:] = target
+        return out
+
+    def apply(
+        self,
+        psi: np.ndarray,
+        beta: float,
+        out: np.ndarray | None = None,
+        *,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Return ``exp(-i beta H_M) |psi>``.
 
         ``psi`` is a complex statevector of length :attr:`dim` in the feasible
         space's canonical basis order.  If ``out`` is given it is used as the
         destination buffer (it may alias ``psi``); otherwise a new array is
         returned.  ``psi`` itself is never modified unless it aliases ``out``.
-        """
 
-    @abc.abstractmethod
-    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Return ``H_M |psi>`` (used by analytic gradients)."""
+        This base implementation is the M=1 column call of
+        :meth:`apply_batch`, served from a cached per-thread workspace so it
+        allocates nothing when ``out`` is supplied.  ``scratch`` is accepted
+        for backward compatibility and ignored — scratch now comes from that
+        workspace.
+        """
+        del scratch  # superseded by the per-thread M=1 workspace
+        if type(self).apply_batch is Mixer.apply_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither apply nor apply_batch"
+            )
+        betas = np.atleast_1d(np.asarray(beta, dtype=np.float64))
+        return self._scalar_via_batch(
+            lambda Psi, target, workspace: self.apply_batch(
+                Psi, betas, out=target, workspace=workspace
+            ),
+            psi,
+            out,
+        )
+
+    def apply_hamiltonian(
+        self,
+        psi: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return ``H_M |psi>`` (used by analytic gradients).
+
+        The M=1 column call of :meth:`apply_hamiltonian_batch`; see
+        :meth:`apply` for the buffer contract.
+        """
+        del scratch  # superseded by the per-thread M=1 workspace
+        if type(self).apply_hamiltonian_batch is Mixer.apply_hamiltonian_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither apply_hamiltonian "
+                f"nor apply_hamiltonian_batch"
+            )
+        return self._scalar_via_batch(
+            lambda Psi, target, workspace: self.apply_hamiltonian_batch(
+                Psi, out=target, workspace=workspace
+            ),
+            psi,
+            out,
+        )
 
     # ------------------------------------------------------------------
     # batched evaluation
@@ -91,10 +187,16 @@ class Mixer(abc.ABC):
         :class:`~repro.core.workspace.BatchedWorkspace` of matching
         dimension).
 
-        This base implementation loops over columns through :meth:`apply`;
-        subclasses override it with BLAS-3 / fully vectorized batch kernels,
-        which is where the batched evaluation engine's throughput comes from.
+        This base implementation loops over columns through :meth:`apply` —
+        the fallback for externally defined scalar-only mixers (e.g. the
+        Trotter baselines).  The optimized families override it with BLAS-3 /
+        fully vectorized batch kernels, which is where the batched evaluation
+        engine's throughput comes from.
         """
+        if type(self).apply is Mixer.apply:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither apply nor apply_batch"
+            )
         Psi = np.asarray(Psi)
         if Psi.ndim != 2 or Psi.shape[0] != self.dim:
             raise ValueError(
@@ -138,9 +240,15 @@ class Mixer(abc.ABC):
         modified unless it aliases ``out``.
 
         This base implementation loops over columns through
-        :meth:`apply_hamiltonian`; concrete mixers override it with the same
-        BLAS-3 / fully vectorized kernels as their :meth:`apply_batch`.
+        :meth:`apply_hamiltonian` (the scalar-only-mixer fallback); the
+        optimized families override it with the same BLAS-3 / fully
+        vectorized kernels as their :meth:`apply_batch`.
         """
+        if type(self).apply_hamiltonian is Mixer.apply_hamiltonian:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither apply_hamiltonian "
+                f"nor apply_hamiltonian_batch"
+            )
         Psi = np.asarray(Psi)
         if Psi.ndim != 2 or Psi.shape[0] != self.dim:
             raise ValueError(
@@ -257,10 +365,10 @@ class DiagonalizedMixer(Mixer):
         self._Vdag = np.ascontiguousarray(self._V.conj().T)
         # historical name, still used by matrix() and external callers
         self._eigenvectors_dag = self._Vdag
-        # Per-call scratch (eigenbasis coefficients and the phase vector) so
-        # that apply()/apply_hamiltonian() allocate nothing when given ``out``.
-        # Kept thread-local: concurrent angle scans sharing one mixer would
-        # otherwise interleave writes to shared scratch and corrupt results.
+        # Per-call scratch (the uniform-batch phase vector) so repeated layer
+        # applications allocate nothing.  Kept thread-local: concurrent angle
+        # scans sharing one mixer would otherwise interleave writes to shared
+        # scratch and corrupt results.
         self._scratch_store = threading.local()
 
     def _scratches(self) -> tuple[np.ndarray, np.ndarray]:
@@ -273,63 +381,22 @@ class DiagonalizedMixer(Mixer):
             store.phase = np.empty(self.dim, dtype=np.complex128)
             return store.coeff, store.phase
 
-    def _basis_change(self, factor: np.ndarray, src: np.ndarray, out: np.ndarray) -> np.ndarray:
-        """``factor @ src`` for complex ``src``/``out`` (1-D or 2-D), allocation-free.
+    def _basis_change(
+        self, factor: np.ndarray, src: np.ndarray, out: np.ndarray, backend=None
+    ) -> np.ndarray:
+        """``factor @ src`` for complex ``src``/``out``, allocation-free.
 
         With a real eigenbasis and contiguous operands the product runs as a
         single real GEMM over the interleaved re/im float view, which is exact
-        (the factor is real) and avoids numpy's per-call complex promotion.
-        ``out`` must not alias ``src``.
+        (the factor is real) and avoids per-call complex promotion of the
+        factor.  ``out`` must not alias ``src``.  The GEMM dispatches through
+        ``backend`` (default: the mixer's own).
         """
+        bk = self.backend if backend is None else backend
         if self._real_basis and src.flags.c_contiguous and out.flags.c_contiguous:
-            np.matmul(
-                factor,
-                src.view(np.float64).reshape(src.shape[0], -1),
-                out=out.view(np.float64).reshape(out.shape[0], -1),
-            )
+            bk.real_gemm(factor, src, out)
         else:
-            np.matmul(factor, src, out=out)
-        return out
-
-    def _as_complex_contiguous(self, psi: np.ndarray) -> np.ndarray:
-        if psi.dtype != np.complex128 or not psi.flags.c_contiguous:
-            psi = np.ascontiguousarray(psi, dtype=np.complex128)
-        return psi
-
-    def apply(
-        self,
-        psi: np.ndarray,
-        beta: float,
-        out: np.ndarray | None = None,
-        *,
-        scratch: np.ndarray | None = None,
-    ) -> np.ndarray:
-        psi = self._as_complex_contiguous(self._check_state(psi))
-        coeff_scratch, phases = self._scratches()
-        coeffs = coeff_scratch if scratch is None else scratch
-        self._basis_change(self._Vdag, psi, coeffs)
-        np.multiply(self.eigenvalues, -1j * beta, out=phases)
-        np.exp(phases, out=phases)
-        coeffs *= phases
-        if out is None:
-            out = np.empty(self.dim, dtype=np.complex128)
-        self._basis_change(self._V, coeffs, out)
-        return out
-
-    def apply_hamiltonian(
-        self,
-        psi: np.ndarray,
-        out: np.ndarray | None = None,
-        *,
-        scratch: np.ndarray | None = None,
-    ) -> np.ndarray:
-        psi = self._as_complex_contiguous(self._check_state(psi))
-        coeffs = self._scratches()[0] if scratch is None else scratch
-        self._basis_change(self._Vdag, psi, coeffs)
-        coeffs *= self.eigenvalues
-        if out is None:
-            out = np.empty(self.dim, dtype=np.complex128)
-        self._basis_change(self._V, coeffs, out)
+            bk.matmul(factor, src, out=out)
         return out
 
     def apply_batch(
@@ -346,10 +413,12 @@ class DiagonalizedMixer(Mixer):
         if workspace is not None:
             coeffs = workspace.scratch(M)
             phases = workspace.phase(M)
+            bk = workspace.backend
         else:
             coeffs = np.empty((self.dim, M), dtype=np.complex128)
             phases = np.empty((self.dim, M), dtype=np.complex128)
-        self._basis_change(self._Vdag, Psi, coeffs)
+            bk = self.backend
+        self._basis_change(self._Vdag, Psi, coeffs, bk)
         if M > 0 and betas.min() == betas.max():
             # Uniform batch (every column shares one angle): a single phase
             # vector broadcasts across columns, skipping the (dim, M) outer.
@@ -361,7 +430,7 @@ class DiagonalizedMixer(Mixer):
             np.multiply(self.eigenvalues[:, None], -1j * betas[None, :], out=phases)
             np.exp(phases, out=phases)
             coeffs *= phases
-        self._basis_change(self._V, coeffs, out)
+        self._basis_change(self._V, coeffs, out, bk)
         return out
 
     def apply_hamiltonian_batch(
@@ -375,11 +444,13 @@ class DiagonalizedMixer(Mixer):
         Psi, out, M = self._check_batch(Psi, out)
         if workspace is not None:
             coeffs = workspace.scratch(M)
+            bk = workspace.backend
         else:
             coeffs = np.empty((self.dim, M), dtype=np.complex128)
-        self._basis_change(self._Vdag, Psi, coeffs)
+            bk = self.backend
+        self._basis_change(self._Vdag, Psi, coeffs, bk)
         coeffs *= self.eigenvalues[:, None]
-        self._basis_change(self._V, coeffs, out)
+        self._basis_change(self._V, coeffs, out, bk)
         return out
 
     def matrix(self) -> np.ndarray:

@@ -47,17 +47,6 @@ class GroverMixer(Mixer):
         self.psi0 = initial
         self._psi0_conj = initial.conj()
 
-    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        overlap = np.vdot(self.psi0, psi)
-        factor = (np.exp(-1j * beta) - 1.0) * overlap
-        if out is None:
-            out = psi.astype(np.complex128, copy=True)
-        elif out is not psi:
-            out[:] = psi
-        out += factor * self.psi0
-        return out
-
     def apply_batch(
         self,
         Psi: np.ndarray,
@@ -75,7 +64,8 @@ class GroverMixer(Mixer):
         """
         Psi, out, M = self._check_batch(Psi, out)
         betas = self._batch_angles(betas, M)
-        overlaps = self._psi0_conj @ Psi
+        bk = workspace.backend if workspace is not None else self.backend
+        overlaps = bk.matmul(self._psi0_conj, Psi)
         factors = (np.exp(-1j * betas) - 1.0) * overlaps
         if out is not Psi:
             out[:] = Psi
@@ -84,15 +74,6 @@ class GroverMixer(Mixer):
             out += update
         else:
             out += self.psi0[:, None] * factors[None, :]
-        return out
-
-    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        overlap = np.vdot(self.psi0, psi)
-        result = overlap * self.psi0
-        if out is None:
-            return result
-        out[:] = result
         return out
 
     def apply_hamiltonian_batch(
@@ -104,7 +85,8 @@ class GroverMixer(Mixer):
     ) -> np.ndarray:
         """Batched rank-one product: one GEMV of overlaps, one outer product."""
         Psi, out, M = self._check_batch(Psi, out)
-        overlaps = self._psi0_conj @ Psi
+        bk = workspace.backend if workspace is not None else self.backend
+        overlaps = bk.matmul(self._psi0_conj, Psi)
         np.multiply(self.psi0[:, None], overlaps[None, :], out=out)
         return out
 

@@ -147,12 +147,14 @@ def _wht_diagonal_product(
     Psi, out, M = mixer._check_batch(Psi, out)
     if workspace is not None:
         scratch = workspace.scratch(M)
+        bk = workspace.backend
     else:
         scratch = np.empty((mixer.dim, M), dtype=np.complex128)
+        bk = mixer.backend
     h_hi, h_lo = hadamard_pair
-    walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+    bk.wht_gemm(Psi, scratch, out, h_hi, h_lo)
     out *= (diagonal * (1.0 / mixer.dim))[:, None]
-    walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
+    bk.wht_gemm(out, scratch, out, h_hi, h_lo)
     return out
 
 
@@ -218,17 +220,6 @@ class XMixer(Mixer):
         # gather instead of an exp over the full (dim, M) matrix.
         self._diag_values, self._diag_inverse = np.unique(self.diagonal, return_inverse=True)
         self._hadamard_pair = _hadamard_factors(n)
-        self._scratch = np.empty(self.dim, dtype=np.complex128)
-
-    def apply(self, psi: np.ndarray, beta: float, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        scratch = self._scratch
-        walsh_hadamard_transform(psi, out=scratch)
-        scratch *= np.exp(-1j * beta * self.diagonal)
-        if out is None:
-            out = np.empty_like(scratch)
-        walsh_hadamard_transform(scratch, out=out)
-        return out
 
     def apply_batch(
         self,
@@ -252,9 +243,11 @@ class XMixer(Mixer):
         if workspace is not None:
             scratch = workspace.scratch(M)
             phases = workspace.phase(M)
+            bk = workspace.backend
         else:
             scratch = np.empty((self.dim, M), dtype=np.complex128)
             phases = np.empty((self.dim, M), dtype=np.complex128)
+            bk = self.backend
         # eigenphases x (1/dim): the latter absorbs both transform norms
         levels = self._diag_values
         scale = 1.0 / self.dim
@@ -269,19 +262,9 @@ class XMixer(Mixer):
             np.exp(phases, out=phases)
             phases *= scale
         h_hi, h_lo = self._hadamard_pair
-        walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+        bk.wht_gemm(Psi, scratch, out, h_hi, h_lo)
         out *= phases
-        walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
-        return out
-
-    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
-        scratch = self._scratch
-        walsh_hadamard_transform(psi, out=scratch)
-        scratch *= self.diagonal
-        if out is None:
-            out = np.empty_like(scratch)
-        walsh_hadamard_transform(scratch, out=out)
+        bk.wht_gemm(out, scratch, out, h_hi, h_lo)
         return out
 
     def apply_hamiltonian_batch(
@@ -364,15 +347,28 @@ class MultiAngleXMixer(Mixer):
         # phase exponents are a single GEMM with the (num_terms, M) angles.
         self._term_diag_T_negj = np.ascontiguousarray(-1j * self.term_diagonals.T)
         self._hadamard_pair = _hadamard_factors(n)
-        self._scratch = np.empty(self.dim, dtype=np.complex128)
 
     @property
     def num_angles(self) -> int:
         """Number of independent angles in one layer."""
         return len(self.terms)
 
-    def apply(self, psi: np.ndarray, beta, out: np.ndarray | None = None) -> np.ndarray:
-        psi = self._check_state(psi)
+    def apply(
+        self,
+        psi: np.ndarray,
+        beta,
+        out: np.ndarray | None = None,
+        *,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One multi-angle layer; ``beta`` is a ``(num_angles,)`` vector.
+
+        A scalar (or length-1) ``beta`` broadcasts across all terms.  The
+        generic M=1 wrapper can't normalize a multi-angle vector, so this
+        override reshapes it to a ``(num_angles, 1)`` batch and defers to
+        :meth:`apply_batch` like every other scalar entry point.
+        """
+        del scratch  # superseded by the per-thread M=1 workspace
         betas = np.atleast_1d(np.asarray(beta, dtype=np.float64))
         if betas.shape == (1,) and self.num_angles > 1:
             betas = np.full(self.num_angles, betas[0])
@@ -380,14 +376,13 @@ class MultiAngleXMixer(Mixer):
             raise ValueError(
                 f"expected {self.num_angles} angles for a multi-angle layer, got {betas.shape}"
             )
-        phase_diag = betas @ self.term_diagonals
-        scratch = self._scratch
-        walsh_hadamard_transform(psi, out=scratch)
-        scratch *= np.exp(-1j * phase_diag)
-        if out is None:
-            out = np.empty_like(scratch)
-        walsh_hadamard_transform(scratch, out=out)
-        return out
+        return self._scalar_via_batch(
+            lambda Psi, target, workspace: self.apply_batch(
+                Psi, betas[:, None], out=target, workspace=workspace
+            ),
+            psi,
+            out,
+        )
 
     def apply_batch(
         self,
@@ -411,33 +406,26 @@ class MultiAngleXMixer(Mixer):
         elif betas.ndim == 1:
             if betas.shape != (M,):
                 raise ValueError(f"betas have shape {betas.shape}, expected ({M},)")
-            betas = np.broadcast_to(betas, (self.num_angles, M))
+            # materialized (not a zero-stride broadcast view) so the phase
+            # GEMM below stays dispatchable on every backend
+            betas = np.ascontiguousarray(np.broadcast_to(betas, (self.num_angles, M)))
         if betas.shape != (self.num_angles, M):
             raise ValueError(f"betas have shape {betas.shape}, expected ({self.num_angles}, {M})")
         if workspace is not None:
             scratch = workspace.scratch(M)
             phases = workspace.phase(M)
+            bk = workspace.backend
         else:
             scratch = np.empty((self.dim, M), dtype=np.complex128)
             phases = np.empty((self.dim, M), dtype=np.complex128)
-        np.matmul(self._term_diag_T_negj, betas, out=phases)
+            bk = self.backend
+        bk.matmul(self._term_diag_T_negj, np.ascontiguousarray(betas), out=phases)
         np.exp(phases, out=phases)
         phases *= 1.0 / self.dim  # absorbs both transforms' 2^{-n/2} norms
         h_hi, h_lo = self._hadamard_pair
-        walsh_hadamard_gemm(Psi, scratch, out, h_hi, h_lo)
+        bk.wht_gemm(Psi, scratch, out, h_hi, h_lo)
         out *= phases
-        walsh_hadamard_gemm(out, scratch, out, h_hi, h_lo)
-        return out
-
-    def apply_hamiltonian(self, psi: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``(sum_t prod X_i) |psi>`` with unit weights (sum of all terms)."""
-        psi = self._check_state(psi)
-        scratch = self._scratch
-        walsh_hadamard_transform(psi, out=scratch)
-        scratch *= self._summed_diagonal
-        if out is None:
-            out = np.empty_like(scratch)
-        walsh_hadamard_transform(scratch, out=out)
+        bk.wht_gemm(out, scratch, out, h_hi, h_lo)
         return out
 
     def apply_hamiltonian_batch(
@@ -482,20 +470,24 @@ class MultiAngleXMixer(Mixer):
             via = workspace.scratch(M)
             wphi = workspace.phase(M)
             wpsi = workspace.aux(M)
+            bk = workspace.backend
         else:
             via = np.empty((self.dim, M), dtype=np.complex128)
             wphi = np.empty((self.dim, M), dtype=np.complex128)
             wpsi = np.empty((self.dim, M), dtype=np.complex128)
+            bk = self.backend
         h_hi, h_lo = self._hadamard_pair
-        walsh_hadamard_gemm(Phi, via, wphi, h_hi, h_lo)
-        walsh_hadamard_gemm(Psi, via, wpsi, h_hi, h_lo)
+        bk.wht_gemm(Phi, via, wphi, h_hi, h_lo)
+        bk.wht_gemm(Psi, via, wpsi, h_hi, h_lo)
         # A = conj(W phi) * (W psi); both transforms are unnormalized, so A
         # carries an extra factor of dim that the final scale removes.
         np.conjugate(wphi, out=wphi)
         wphi *= wpsi
         # One real GEMM against the interleaved re/im view gives the real and
         # imaginary parts of every <W phi| d_t |W psi> side by side.
-        products = self.term_diagonals @ wphi.view(np.float64).reshape(self.dim, 2 * M)
+        products = bk.matmul(
+            self.term_diagonals, wphi.view(np.float64).reshape(self.dim, 2 * M)
+        )
         return (2.0 / self.dim) * products[:, 1::2]
 
     def apply_hamiltonian_term(self, psi: np.ndarray, term_index: int) -> np.ndarray:

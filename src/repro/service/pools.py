@@ -25,6 +25,7 @@ from collections import OrderedDict
 from ..api.mixers import make_mixer
 from ..api.solver import QAOASolver, memoized_problem
 from ..api.spec import SolveSpec
+from ..backend import active_backend
 from ..core.ansatz import QAOAAnsatz
 from ..hpc.memory import warm_entry_bytes
 from ..mixers.base import DiagonalizedMixer
@@ -38,11 +39,15 @@ def pool_fingerprint(spec: SolveSpec) -> str:
     Two specs with equal fingerprints share problem instance, feasible space,
     mixer spectra and workspaces — everything the warm pool keeps alive.  The
     strategy and its seed only steer the angle search, so they are excluded.
+    The active array backend is included: pooled workspaces capture the
+    backend at construction, so entries built under different backends must
+    not be shared.
     """
     payload = {
         "problem": spec.problem.to_dict(),
         "mixer": spec.mixer.to_dict(),
         "p": spec.p,
+        "backend": active_backend().name,
     }
     text = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -58,6 +63,7 @@ class WarmEntry:
 
     def __init__(self, fingerprint: str, spec: SolveSpec):
         self.fingerprint = fingerprint
+        self.backend_name = active_backend().name
         self.problem = memoized_problem(spec.problem)
         self.mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
         self.ansatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
@@ -178,4 +184,7 @@ class WarmPool:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "backends": sorted(
+                    {entry.backend_name for entry in self._entries.values()}
+                ),
             }
