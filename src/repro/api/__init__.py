@@ -14,6 +14,7 @@ protocol.
 
 from .mixers import MIXER_NAMES, MIXERS, make_mixer
 from .registry import Registry, RegistryError
+from .routing import ExecutionPlan, select_execution_path
 from .solver import QAOASolver, SolveResult, solve
 from .spec import MixerSpec, ProblemSpec, SolveSpec, StrategySpec
 from .strategies import (
@@ -30,6 +31,8 @@ __all__ = [
     "make_mixer",
     "Registry",
     "RegistryError",
+    "ExecutionPlan",
+    "select_execution_path",
     "QAOASolver",
     "SolveResult",
     "solve",

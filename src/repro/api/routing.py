@@ -1,0 +1,296 @@
+"""Execution-path selection for ``solve()``: dense, sharded, or compressed.
+
+Every spec-driven solve runs through exactly one of three engines:
+
+* **dense** — the in-process :class:`~repro.core.ansatz.QAOAAnsatz`
+  (scalar + batched kernels).  Default whenever the statevector comfortably
+  fits one process.
+* **sharded** — :class:`~repro.hpc.sharded.ShardedAnsatz`: the statevector
+  distributed across shard worker processes in shared memory.  Selected when
+  ``REPRO_SHARDS`` requests it or the dimension crosses
+  :data:`SHARDED_AUTO_DIM`; supports the ``x``, ``multiangle_x`` and
+  ``grover`` mixer families (Dicke subspaces: ``grover`` only).
+* **compressed** — :class:`~repro.grover.ansatz.CompressedGroverAnsatz`:
+  Grover-mixer evolution over the distinct-value spectrum (paper Sec. 2.4).
+  Selected for Grover-mixer specs whose spectrum is both *obtainable*
+  (analytic for Hamming-weight objectives at any ``n``, streamed degeneracy
+  counting below :data:`STREAMING_SPECTRUM_LIMIT`) and *degenerate enough*
+  (``distinct * COMPRESSED_ADVANTAGE <= dim``) above
+  :data:`COMPRESSED_MIN_DIM`.
+
+Priority: compressed beats sharded beats dense (the compressed state is
+``O(distinct)`` — smaller than any shard).  Strategies that rebuild per-round
+ansatze (``iterative``, ``fourier``) always run dense: they consume the dense
+cost object and per-layer schedules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..grover.compress import (
+    CompressedObjective,
+    compress_streaming,
+    compress_streaming_dicke,
+    hamming_weight_spectrum,
+)
+from ..problems.registry import ProblemStructure, make_problem_structure
+from .mixers import MIXERS
+from .spec import ProblemSpec, SolveSpec
+from .strategies import STRATEGIES
+
+__all__ = [
+    "ExecutionPlan",
+    "select_execution_path",
+    "memoized_structure",
+    "spectrum_for",
+    "env_shards",
+    "COMPRESSED_MIN_DIM",
+    "COMPRESSED_ADVANTAGE",
+    "SHARDED_AUTO_DIM",
+    "STREAMING_SPECTRUM_LIMIT",
+]
+
+#: Below this dimension the dense path is always fine — keeps every
+#: small-instance solve byte-identical with the pre-routing behaviour.
+COMPRESSED_MIN_DIM = 1 << 12
+
+#: The compressed path must shrink the state by at least this factor.
+COMPRESSED_ADVANTAGE = 8
+
+#: Full-space dimension at which sharding engages without ``REPRO_SHARDS``.
+SHARDED_AUTO_DIM = 1 << 24
+
+#: Largest dimension the router will *stream over* to discover a spectrum.
+#: Above it only analytic (Hamming-weight) spectra are available.
+STREAMING_SPECTRUM_LIMIT = 1 << 20
+
+#: Mixer families with a sharded decomposition.
+SHARDED_MIXERS = frozenset({"x", "multiangle_x", "grover"})
+
+#: Strategies that rebuild per-round dense ansatze and cannot be re-routed.
+DENSE_ONLY_STRATEGIES = frozenset({"iterative", "fourier"})
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Which engine a solve runs on, and the numbers that decided it."""
+
+    path: str  # "dense" | "sharded" | "compressed"
+    reason: str
+    dim: int
+    shards: int | None = None
+    distinct: int | None = None
+
+    def describe(self) -> str:
+        """One human-readable line (what ``repro solve --explain`` prints)."""
+        extras = [f"dim={self.dim}"]
+        if self.shards is not None:
+            extras.append(f"shards={self.shards}")
+        if self.distinct is not None:
+            extras.append(f"distinct={self.distinct}")
+        return f"{self.path} ({', '.join(extras)}): {self.reason}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "reason": self.reason,
+            "dim": self.dim,
+            "shards": self.shards,
+            "distinct": self.distinct,
+        }
+
+
+# ---------------------------------------------------------------------------
+# memoized structure + spectrum discovery
+# ---------------------------------------------------------------------------
+
+_STRUCTURE_MEMO_CAPACITY = 32
+_structure_memo: OrderedDict[str, ProblemStructure] = OrderedDict()
+_spectrum_memo: OrderedDict[str, CompressedObjective | None] = OrderedDict()
+_memo_lock = threading.Lock()
+
+
+def _problem_key(problem: ProblemSpec) -> str:
+    return json.dumps(problem.to_dict(), sort_keys=True)
+
+
+def memoized_structure(problem: ProblemSpec) -> ProblemStructure:
+    """The space-free :class:`ProblemStructure` for ``problem``, memoized.
+
+    Structures never materialize the feasible space, so they are cheap — but
+    routing consults them on every solve and the closures inside are reused
+    by the sharded workers, so one instance per spec keeps everything
+    consistent.
+    """
+    key = _problem_key(problem)
+    with _memo_lock:
+        cached = _structure_memo.get(key)
+        if cached is not None:
+            _structure_memo.move_to_end(key)
+            return cached
+    structure = make_problem_structure(
+        problem.name, problem.n, seed=problem.seed, **problem.params
+    )
+    with _memo_lock:
+        _structure_memo[key] = structure
+        _structure_memo.move_to_end(key)
+        while len(_structure_memo) > _STRUCTURE_MEMO_CAPACITY:
+            _structure_memo.popitem(last=False)
+    return structure
+
+
+def spectrum_for(problem: ProblemSpec) -> CompressedObjective | None:
+    """The compressed value spectrum of ``problem``, or ``None`` if unobtainable.
+
+    Analytic Hamming-weight spectra work at any ``n``; otherwise the objective
+    is streamed over the feasible space (chunked, never materialized) up to
+    :data:`STREAMING_SPECTRUM_LIMIT` states.  Results — including the
+    negative ``None`` — are memoized per problem spec.
+    """
+    key = _problem_key(problem)
+    with _memo_lock:
+        if key in _spectrum_memo:
+            _spectrum_memo.move_to_end(key)
+            return _spectrum_memo[key]
+    structure = memoized_structure(problem)
+    spectrum: CompressedObjective | None = None
+    if structure.k is None and structure.value_of_weight is not None:
+        spectrum = hamming_weight_spectrum(structure.n, structure.value_of_weight)
+    elif structure.dim <= STREAMING_SPECTRUM_LIMIT:
+        if structure.k is None:
+            spectrum = compress_streaming(structure.cost_vectorized, structure.n)
+        else:
+            spectrum = compress_streaming_dicke(
+                structure.cost_vectorized, structure.n, structure.k
+            )
+    with _memo_lock:
+        _spectrum_memo[key] = spectrum
+        _spectrum_memo.move_to_end(key)
+        while len(_spectrum_memo) > _STRUCTURE_MEMO_CAPACITY:
+            _spectrum_memo.popitem(last=False)
+    return spectrum
+
+
+def clear_routing_memo() -> None:
+    """Drop memoized structures and spectra (tests)."""
+    with _memo_lock:
+        _structure_memo.clear()
+        _spectrum_memo.clear()
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+def env_shards(environ: os._Environ | dict | None = None) -> int | None:
+    """The ``REPRO_SHARDS`` request: ``None`` when unset or explicitly <= 1."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_SHARDS", "").strip()
+    if not raw:
+        return None
+    try:
+        count = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SHARDS must be an integer, got {raw!r}") from exc
+    return count if count >= 2 else None
+
+
+def _auto_shards(dim: int) -> int:
+    """Power-of-two shard count targeting ~2^23 states per shard, in [2, 16]."""
+    shards = 2
+    while shards < 16 and dim // shards > (1 << 23):
+        shards *= 2
+    return shards
+
+
+def _canonical(registry, name: str) -> str:
+    try:
+        return registry.canonical(name)
+    except KeyError:
+        return name.lower()
+
+
+def select_execution_path(
+    spec: SolveSpec, *, shards: int | None = None
+) -> ExecutionPlan:
+    """Pick the engine for ``spec`` (see the module docstring for the rules).
+
+    ``shards`` overrides the ``REPRO_SHARDS`` environment knob.
+    """
+    structure = memoized_structure(spec.problem)
+    dim = structure.dim
+    mixer = _canonical(MIXERS, spec.mixer.name)
+    strategy = _canonical(STRATEGIES, spec.strategy.name)
+
+    if strategy in DENSE_ONLY_STRATEGIES:
+        return ExecutionPlan(
+            "dense",
+            f"strategy {strategy!r} rebuilds per-round dense ansatze",
+            dim,
+        )
+
+    if mixer == "grover" and dim > COMPRESSED_MIN_DIM:
+        spectrum = spectrum_for(spec.problem)
+        if spectrum is not None:
+            distinct = spectrum.num_distinct
+            if distinct * COMPRESSED_ADVANTAGE <= dim:
+                return ExecutionPlan(
+                    "compressed",
+                    f"grover mixer with degenerate spectrum "
+                    f"({distinct} distinct values over {dim} states)",
+                    dim,
+                    distinct=distinct,
+                )
+
+    requested = shards if shards is not None else env_shards()
+    source = "shards override" if shards is not None else f"REPRO_SHARDS={requested}"
+    shardable = mixer in SHARDED_MIXERS
+    if shardable and mixer != "grover":
+        # WHT mixers shard the full space over power-of-two worker counts.
+        shardable = structure.k is None
+
+    if requested is not None:
+        if not shardable:
+            return ExecutionPlan(
+                "dense",
+                f"{source} ignored: mixer {mixer!r} "
+                "has no sharded decomposition"
+                + ("" if structure.k is None else " on a Dicke subspace"),
+                dim,
+            )
+        count = requested
+        if mixer != "grover" and (count & (count - 1) or dim % count):
+            return ExecutionPlan(
+                "dense",
+                f"{source} ignored: WHT mixers need a "
+                f"power-of-two shard count dividing dim={dim}",
+                dim,
+            )
+        count = min(count, dim)
+        return ExecutionPlan(
+            "sharded", f"{source} requested {requested} shards", dim, shards=count
+        )
+
+    if dim >= SHARDED_AUTO_DIM and shardable:
+        count = _auto_shards(dim)
+        return ExecutionPlan(
+            "sharded",
+            f"dim {dim} >= {SHARDED_AUTO_DIM} exceeds the single-process "
+            "comfort zone",
+            dim,
+            shards=count,
+        )
+
+    if dim >= SHARDED_AUTO_DIM:
+        return ExecutionPlan(
+            "dense",
+            f"dim {dim} is large but mixer {mixer!r} has no sharded or "
+            "compressed path — expect heavy memory use",
+            dim,
+        )
+    return ExecutionPlan("dense", "statevector fits one process", dim)

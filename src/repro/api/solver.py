@@ -31,6 +31,7 @@ from ..core.simulator import QAOAResult
 from ..mixers.base import Mixer
 from ..problems.registry import ProblemInstance, make_problem
 from .mixers import MIXERS, make_mixer
+from .routing import ExecutionPlan, memoized_structure, select_execution_path, spectrum_for
 from .spec import ProblemSpec, SolveSpec
 from .strategies import run_strategy
 
@@ -114,6 +115,9 @@ class SolveResult:
     cached:
         ``True`` when this result was answered from the spec-keyed result
         cache without running the simulator.
+    execution:
+        Which engine produced the result: ``"dense"``, ``"sharded"`` or
+        ``"compressed"`` (see :mod:`repro.api.routing`).
     """
 
     spec: SolveSpec
@@ -128,6 +132,7 @@ class SolveResult:
     angle_result: AngleResult | None = field(repr=False, default=None)
     simulation: QAOAResult | None = field(repr=False, default=None)
     cached: bool = False
+    execution: str = "dense"
 
     def probabilities(self) -> np.ndarray:
         """Sampling probabilities over the feasible space at the best angles."""
@@ -167,6 +172,7 @@ class SolveResult:
             strategy=str(row["strategy"]),
             wall_time_s=float(row["wall_time_s"]),
             cached=cached,
+            execution=str(row.get("execution", "dense")),
         )
 
     def to_row(self) -> dict:
@@ -199,6 +205,7 @@ class SolveResult:
             "evaluations": int(self.evaluations),
             "angles": [float(a) for a in self.angles],
             "wall_time_s": float(self.wall_time_s),
+            "execution": self.execution,
         }
 
 
@@ -215,37 +222,97 @@ class QAOASolver:
 
     ``backend`` optionally pins the array backend the ansatz kernels run on
     (defaults to the process-wide active backend, i.e. ``REPRO_BACKEND``).
+
+    ``plan`` optionally pins the execution path (an
+    :class:`~repro.api.routing.ExecutionPlan`); by default
+    :func:`~repro.api.routing.select_execution_path` routes the spec to the
+    dense, sharded or compressed engine.  Non-dense solvers never materialize
+    the feasible space — ``problem``/``mixer`` stay ``None`` and the engine
+    itself carries the optimum.  Sharded solvers own worker processes; call
+    :meth:`close` (or use ``solve()``, which does) when finished.
     """
 
-    def __init__(self, spec: SolveSpec | Mapping[str, Any], *, backend=None):
+    def __init__(
+        self,
+        spec: SolveSpec | Mapping[str, Any],
+        *,
+        backend=None,
+        plan: ExecutionPlan | None = None,
+    ):
         if not isinstance(spec, SolveSpec):
             spec = SolveSpec.from_dict(spec)
         self.spec = spec
-        self.problem: ProblemInstance = memoized_problem(spec.problem)
-        self.mixer: Mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
-        self.ansatz: QAOAAnsatz = QAOAAnsatz.from_problem(
-            self.problem, self.mixer, spec.p, backend=backend
-        )
+        if plan is None:
+            plan = select_execution_path(spec)
+        self.plan = plan
+        self.problem: ProblemInstance | None = None
+        self.mixer: Mixer | None = None
+        if plan.path == "compressed":
+            from ..grover.ansatz import CompressedGroverAnsatz
+
+            structure = memoized_structure(spec.problem)
+            spectrum = spectrum_for(spec.problem)
+            if spectrum is None:  # pragma: no cover - the router checked this
+                raise RuntimeError("compressed plan without an obtainable spectrum")
+            self.ansatz = CompressedGroverAnsatz(
+                spectrum,
+                spec.p,
+                n=structure.n,
+                maximize=structure.maximize,
+                backend=backend,
+            )
+        elif plan.path == "sharded":
+            from ..hpc.sharded import ShardedAnsatz
+
+            structure = memoized_structure(spec.problem)
+            self.ansatz = ShardedAnsatz(
+                structure,
+                spec.mixer.name,
+                spec.p,
+                plan.shards,
+                mixer_params=dict(spec.mixer.params),
+                backend=backend,
+            )
+        else:
+            self.problem = memoized_problem(spec.problem)
+            self.mixer = make_mixer(
+                spec.mixer.name, self.problem.space, **spec.mixer.params
+            )
+            self.ansatz = QAOAAnsatz.from_problem(
+                self.problem, self.mixer, spec.p, backend=backend
+            )
 
     @classmethod
     def from_components(
         cls,
         spec: SolveSpec,
-        problem: ProblemInstance,
-        mixer: Mixer,
-        ansatz: QAOAAnsatz,
+        problem: ProblemInstance | None,
+        mixer: Mixer | None,
+        ansatz,
+        *,
+        plan: ExecutionPlan | None = None,
     ) -> "QAOASolver":
         """Wrap already-built components (the warm pool's entry) as a solver.
 
         Skips all construction work — this is how the solver service runs a
         spec on a pooled problem/mixer/ansatz without re-deriving anything.
+        ``problem``/``mixer`` are ``None`` for pooled non-dense engines.
         """
         solver = cls.__new__(cls)
         solver.spec = spec
         solver.problem = problem
         solver.mixer = mixer
         solver.ansatz = ansatz
+        if plan is None:
+            plan = ExecutionPlan("dense", "pre-built components", ansatz.schedule.dim)
+        solver.plan = plan
         return solver
+
+    def close(self) -> None:
+        """Release engine resources (shard workers); dense/compressed: no-op."""
+        closer = getattr(self.ansatz, "close", None)
+        if closer is not None:
+            closer()
 
     def find_angles(self, *, seed: int | None = None) -> AngleResult:
         """Run just the angle strategy (``seed`` overrides the spec's)."""
@@ -273,7 +340,10 @@ class QAOASolver:
         simulation = self.ansatz.simulate(angle_result.angles)
         wall_time = 0.0 if started is None else time.perf_counter() - started
 
-        optimum = self.problem.optimum()
+        if self.problem is not None:
+            optimum = self.problem.optimum()
+        else:
+            optimum = float(self.ansatz.optimum)
         ratio = float(angle_result.value) / optimum if optimum > 0 else None
         spec = self.spec
         if seed is not None and seed != spec.seed:
@@ -296,6 +366,7 @@ class QAOASolver:
             wall_time_s=wall_time,
             angle_result=angle_result,
             simulation=simulation,
+            execution=self.plan.path,
         )
 
     def run(self, *, seed: int | None = None) -> SolveResult:
@@ -322,4 +393,8 @@ def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveR
         spec = SolveSpec.build(**kwargs)
     elif kwargs:
         raise TypeError("pass either a spec or keyword arguments, not both")
-    return QAOASolver(spec).run()
+    solver = QAOASolver(spec)
+    try:
+        return solver.run()
+    finally:
+        solver.close()

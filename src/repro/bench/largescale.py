@@ -1,0 +1,280 @@
+"""Large-scale execution benchmark: sharded and compressed solves past n=20.
+
+The paper's scaling claim is two-fold: full-space statevector simulation is
+memory-bound (Figure 4a), and Grover-mixer degeneracy compression removes the
+dimension from the cost entirely (n ~ 100).  This harness measures both
+production paths end to end:
+
+* ``sharded`` points run a full-space solve split across shard worker
+  processes and record every process's peak RSS (``VmHWM``), gating the
+  per-process peak against ``0.75 x`` the single-process dense estimate of
+  :func:`repro.hpc.memory.simulator_memory_estimate` — the number sharding
+  must beat to be worth its exchange traffic;
+* ``compressed`` points solve Hamming-weight problems at dimensions dense
+  simulation cannot represent (n = 60, 100) and record wall time plus the
+  compression ratio ``dim / distinct``;
+* ``agreement`` points run the same spec through every engine at a feasible
+  n and record the maximum cross-engine deviation (gate: ``<= 1e-10``).
+
+Each point runs in a fresh subprocess so its ``VmHWM`` reflects only that
+point (a parent process's high-water mark never resets).  Rows land in
+``BENCH_largescale.json`` at the repo root; the CI smoke job runs the
+``quick`` profile, the nightly sweep runs ``full``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from ..api.routing import ExecutionPlan, select_execution_path
+from ..api.solver import QAOASolver
+from ..api.spec import SolveSpec
+from ..hpc.memory import peak_rss_bytes, simulator_memory_estimate
+
+__all__ = [
+    "RSS_GATE_FRACTION",
+    "AGREEMENT_GATE",
+    "sharded_point",
+    "compressed_point",
+    "agreement_point",
+    "sweep_points",
+    "run_sweep",
+]
+
+#: Per-process peak-RSS budget as a fraction of the dense single-process estimate.
+RSS_GATE_FRACTION = 0.75
+
+#: Below this dense estimate the interpreter baseline (~100 MB of Python +
+#: numpy) dominates every process and the RSS gate measures nothing; such
+#: points record their peaks but report the gate as not applicable.
+RSS_GATE_MIN_ESTIMATE = 1 << 30
+
+#: Maximum tolerated cross-engine deviation at identical angles.
+AGREEMENT_GATE = 1e-10
+
+
+def _sharded_spec(n: int) -> SolveSpec:
+    # Hamming weight keeps setup O(1) per state so the measurement is the
+    # engine, not the instance; grid resolution 2 bounds the angle search.
+    return SolveSpec.build(
+        problem="hamming",
+        n=n,
+        mixer="x",
+        strategy="grid",
+        strategy_params={"resolution": 2},
+        p=1,
+    )
+
+
+def sharded_point(n: int, shards: int) -> dict:
+    """One full-space sharded solve; returns the row with per-process peaks."""
+    spec = _sharded_spec(n)
+    plan = select_execution_path(spec, shards=shards)
+    if plan.path != "sharded":
+        raise RuntimeError(f"expected a sharded plan, routed {plan.describe()}")
+    dense_estimate = simulator_memory_estimate(n)
+    gate = int(RSS_GATE_FRACTION * dense_estimate)
+    solver = QAOASolver(spec, plan=plan)
+    try:
+        start = time.perf_counter()
+        result = solver.run()
+        elapsed = time.perf_counter() - start
+        rss = solver.ansatz.executor.rss()
+    finally:
+        solver.close()
+    return {
+        "kind": "sharded",
+        "n": n,
+        "dim": plan.dim,
+        "shards": shards,
+        "seconds": elapsed,
+        "value": result.value,
+        "optimum": result.optimum,
+        "approximation_ratio": result.value / result.optimum,
+        "worker_peak_rss": [w["peak"] for w in rss["workers"]],
+        "coordinator_peak_rss": rss["coordinator"]["peak"],
+        "max_peak_rss": rss["max_peak"],
+        "total_peak_rss": rss["total_peak"],
+        "dense_estimate_bytes": dense_estimate,
+        "rss_gate_bytes": gate,
+        "rss_gate_passed": (
+            rss["max_peak"] < gate
+            if dense_estimate >= RSS_GATE_MIN_ESTIMATE
+            else None
+        ),
+    }
+
+
+def compressed_point(n: int) -> dict:
+    """One compressed-Grover solve at a dimension dense simulation can't hold."""
+    spec = SolveSpec.build(
+        problem="hamming", n=n, mixer="grover", strategy="random",
+        strategy_params={"iters": 8}, p=2,
+    )
+    plan = select_execution_path(spec)
+    if plan.path != "compressed":
+        raise RuntimeError(f"expected a compressed plan, routed {plan.describe()}")
+    start = time.perf_counter()
+    solver = QAOASolver(spec, plan=plan)
+    try:
+        result = solver.run()
+    finally:
+        solver.close()
+    elapsed = time.perf_counter() - start
+    return {
+        "kind": "compressed",
+        "n": n,
+        "dim": float(plan.dim),  # may exceed 2^53; JSON numbers stay honest as floats
+        "distinct": plan.distinct,
+        "compression_ratio": float(plan.dim) / plan.distinct,
+        "seconds": elapsed,
+        "value": result.value,
+        "optimum": result.optimum,
+        "approximation_ratio": result.value / result.optimum,
+        "peak_rss": peak_rss_bytes(),
+    }
+
+
+def agreement_point(n: int, shards: int) -> dict:
+    """Max cross-engine deviation of expectation batches at identical angles."""
+    spec = SolveSpec.build(problem="hamming", n=n, mixer="grover", p=2)
+    dim = 1 << n
+    angles = 2 * np.pi * np.random.default_rng(2023).random((4, 4))
+    solvers = {
+        "dense": QAOASolver(spec, plan=ExecutionPlan("dense", "forced", dim)),
+        "compressed": QAOASolver(spec, plan=ExecutionPlan("compressed", "forced", dim)),
+        "sharded": QAOASolver(
+            spec, plan=ExecutionPlan("sharded", "forced", dim, shards=shards)
+        ),
+    }
+    try:
+        values = {
+            path: solver.ansatz.expectation_batch(angles)
+            for path, solver in solvers.items()
+        }
+    finally:
+        for solver in solvers.values():
+            solver.close()
+    deviations = {
+        path: float(np.abs(values[path] - values["dense"]).max())
+        for path in ("compressed", "sharded")
+    }
+    return {
+        "kind": "agreement",
+        "n": n,
+        "dim": dim,
+        "shards": shards,
+        "deviation": deviations,
+        "max_deviation": max(deviations.values()),
+        "gate": AGREEMENT_GATE,
+        "agreement_passed": max(deviations.values()) <= AGREEMENT_GATE,
+    }
+
+
+def sweep_points(scale: str) -> list[dict]:
+    """The ``(kind, kwargs)`` schedule of one sweep profile."""
+    if scale == "quick":
+        return [
+            {"kind": "agreement", "n": 10, "shards": 2},
+            {"kind": "sharded", "n": 12, "shards": 2},
+            {"kind": "compressed", "n": 16},
+            {"kind": "compressed", "n": 60},
+        ]
+    if scale == "full":
+        return [
+            {"kind": "agreement", "n": 12, "shards": 4},
+            {"kind": "sharded", "n": 20, "shards": 4},
+            {"kind": "sharded", "n": 26, "shards": 4},
+            {"kind": "compressed", "n": 60},
+            {"kind": "compressed", "n": 100},
+        ]
+    raise ValueError(f"unknown sweep scale {scale!r} (choose 'quick' or 'full')")
+
+
+def _run_point(point: dict) -> dict:
+    kind = point["kind"]
+    if kind == "sharded":
+        return sharded_point(point["n"], point["shards"])
+    if kind == "compressed":
+        return compressed_point(point["n"])
+    if kind == "agreement":
+        return agreement_point(point["n"], point["shards"])
+    raise ValueError(f"unknown point kind {kind!r}")
+
+
+def _run_point_subprocess(point: dict) -> dict:
+    """Run one point in a fresh interpreter so VmHWM belongs to it alone."""
+    argv = [sys.executable, "-m", "repro.bench.largescale", "--point", point["kind"],
+            "--n", str(point["n"])]
+    if "shards" in point:
+        argv += ["--shards", str(point["shards"])]
+    env = dict(os.environ)
+    env.pop("REPRO_SHARDS", None)  # shard counts come from the schedule
+    proc = subprocess.run(argv, env=env, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"benchmark point {point} failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_sweep(scale: str, out_path: str, *, subprocesses: bool = True) -> dict:
+    """Run a sweep profile and write the benchmark document to ``out_path``."""
+    rows = []
+    for point in sweep_points(scale):
+        row = _run_point_subprocess(point) if subprocesses else _run_point(point)
+        rows.append(row)
+        print(json.dumps(row), flush=True)
+    document = {
+        "benchmark": "largescale_execution",
+        "scale": scale,
+        "unit": "bytes (RSS), seconds (wall)",
+        "numpy": np.__version__,
+        "rss_gate_fraction": RSS_GATE_FRACTION,
+        "agreement_gate": AGREEMENT_GATE,
+        # None means not applicable (dense estimate below the baseline floor).
+        "all_gates_passed": all(
+            r.get("rss_gate_passed") is not False
+            and r.get("agreement_passed") is not False
+            for r in rows
+        ),
+        "records": rows,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.largescale",
+        description="Sharded / compressed execution benchmark.",
+    )
+    parser.add_argument("--point", choices=["sharded", "compressed", "agreement"],
+                        help="run a single point in-process and print its row")
+    parser.add_argument("--n", type=int, default=12)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    parser.add_argument("--out", default="BENCH_largescale.json")
+    parser.add_argument("--in-process", action="store_true",
+                        help="run sweep points without per-point subprocesses")
+    args = parser.parse_args(argv)
+    if args.point:
+        row = _run_point({"kind": args.point, "n": args.n, "shards": args.shards})
+        print(json.dumps(row))
+        return 0
+    document = run_sweep(args.scale, args.out, subprocesses=not args.in_process)
+    print(f"wrote {args.out}: all_gates_passed={document['all_gates_passed']}")
+    return 0 if document["all_gates_passed"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -164,6 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the result row (plus the spec) to PATH as JSON",
     )
+    p_solve.add_argument(
+        "--explain",
+        action="store_true",
+        help="print which execution path (dense/sharded/compressed) was "
+        "selected and why (dim, shard count, distinct-value count)",
+    )
+    p_solve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="force sharded execution with N worker processes "
+        "(overrides the REPRO_SHARDS environment knob)",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP solver service (POST /solve, GET /healthz, GET /stats)"
@@ -351,7 +365,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from .api import SolveSpec, solve
+    from .api import SolveSpec
 
     if args.spec_path is not None:
         if args.spec_path == "-":
@@ -378,15 +392,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             p=args.p,
             seed=args.seed,
         )
+    from .api.routing import select_execution_path
+    from .api.solver import QAOASolver
+
     try:
-        result = solve(spec)
+        plan = select_execution_path(spec, shards=args.shards)
+        if args.explain:
+            print(f"execution path: {plan.describe()}")
+        solver = QAOASolver(spec, plan=plan)
+        try:
+            result = solver.run()
+        finally:
+            solver.close()
     except (TypeError, ValueError) as exc:
         raise _CliError(str(exc)) from exc
 
     row = result.to_row()
     print(
         f"{row['problem']} n={row['n']} (instance seed {row['problem_seed']}) | "
-        f"mixer={row['mixer']} strategy={row['strategy']} p={row['p']} seed={row['seed']}"
+        f"mixer={row['mixer']} strategy={row['strategy']} p={row['p']} seed={row['seed']} | "
+        f"engine={row['execution']}"
     )
     print(f"  <C> at best angles       : {row['value']:.6f}")
     print(f"  optimum                  : {row['optimum']:.6f}")

@@ -1,0 +1,901 @@
+"""Coordinator/worker engine for sharded statevector evolution.
+
+One :class:`ShardedExecutor` pins each :class:`~repro.hpc.partition.Chunk` of
+the feasible space to a long-lived forked worker process.  The statevector
+lives entirely in shared-memory segments (see
+:class:`~repro.hpc.sharded.workspace.ShardedWorkspace`); the coordinator
+holds only angle vectors, partial reductions and segment names — it never
+maps a state page, so its resident set stays O(1) in the dimension.
+
+Execution is coordinator-mediated lockstep: every operation is a command
+tuple broadcast over per-worker pipes, and the coordinator collects all
+acknowledgements before issuing the next command.  That ack barrier is what
+makes the cross-shard butterfly exchange race-free — during one butterfly
+level every worker reads two source blocks (its own and its partner's) and
+writes only its own destination block in the alternate buffer.
+
+Mixer decompositions
+--------------------
+* ``x`` / ``multiangle_x`` (full space, power-of-two shards): the n-qubit
+  Walsh–Hadamard transform factors into a *local* transform over the low
+  ``n - s`` bits (in-shard, contiguous) and ``s`` butterfly levels over the
+  high bits (cross-shard, one level per shard-index bit).  The mixer layer is
+  transform → diagonal eigenphases (evaluated chunk-wise from global labels,
+  never materialized whole) → transform back, with the ``2^{-s}`` of the two
+  unnormalized butterfly passes folded into the phases — the exact sharded
+  analogue of the dense ``XMixer.apply_batch``.
+* ``grover`` (any space, any shard count): the rank-one update needs one
+  overlap (a per-shard column sum combined by the coordinator) and one
+  broadcast axpy.
+
+The adjoint gradient is fused into the transform domain: per round both the
+adjoint state and the recorded forward layer are transformed once, all
+``d``-weighted imaginary inner products reduce locally, and the inverse mixer
+ride shares the same transforms — no Hamiltonian scratch buffer exists
+anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass
+from itertools import combinations
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...hilbert.bitops import ints_to_bit_matrix, popcount
+from ...io.locking import FileLock
+from ..partition import Chunk, chunk_labels, split_dicke_space, split_full_space
+from .workspace import ShardedWorkspace, attach_segment
+
+__all__ = [
+    "ShardedMixerConfig",
+    "sharded_mixer_config",
+    "ShardedExecutor",
+    "ShardedExecutionError",
+]
+
+#: Largest global dimension ``gather_state`` will materialize coordinator-side.
+GATHER_LIMIT = 1 << 22
+
+#: Optimal-state tolerance, matching ``PrecomputedCost.optimal_indices``.
+_OPT_RTOL, _OPT_ATOL = 1e-12, 1e-9
+
+
+class ShardedExecutionError(RuntimeError):
+    """A shard worker raised; carries the remote traceback(s)."""
+
+
+# ---------------------------------------------------------------------------
+# mixer configuration (space-free: masks + coefficients, never 2^n arrays)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardedMixerConfig:
+    """Space-free description of a mixer family the sharded engine can run.
+
+    ``masks``/``coeffs`` describe the products-of-X terms (``mask_t = sum
+    2^q`` over the term's qubits): the Hadamard-basis eigenvalue at global
+    index ``y`` is ``sum_t c_t (-1)^{popcount(y & mask_t)}``, which workers
+    evaluate chunk-wise.  ``betas_per_round`` is 1 except for multi-angle
+    layers (one beta per term).
+    """
+
+    kind: str  # "x" | "multiangle_x" | "grover"
+    masks: tuple[int, ...] = ()
+    coeffs: tuple[float, ...] = ()
+    betas_per_round: int = 1
+
+    @property
+    def needs_wht(self) -> bool:
+        """Whether applying this mixer requires the Walsh–Hadamard pipeline."""
+        return self.kind in ("x", "multiangle_x")
+
+
+def _term_mask(term: Sequence[int], n: int) -> int:
+    mask = 0
+    for qubit in term:
+        qubit = int(qubit)
+        if not 0 <= qubit < n:
+            raise ValueError(f"qubit index {qubit} out of range for n={n}")
+        if mask >> qubit & 1:
+            raise ValueError(f"duplicate qubit {qubit} in mixer term {tuple(term)}")
+        mask |= 1 << qubit
+    return mask
+
+
+def sharded_mixer_config(name: str, n: int, params: dict | None = None) -> ShardedMixerConfig:
+    """Resolve a mixer spec into a :class:`ShardedMixerConfig`.
+
+    Mirrors the term enumeration of :func:`repro.mixers.xmixer.mixer_x` and
+    the defaults of the mixer registry factories, without building any
+    ``2^n``-sized object.  Raises ``ValueError`` for families without a
+    sharded decomposition (the XY families need dense subspace
+    eigendecompositions).
+    """
+    from ...api.mixers import MIXERS
+
+    params = dict(params or {})
+    canonical = MIXERS.canonical(name)
+    if canonical == "x":
+        orders = list(params.pop("orders", (1,)))
+        coefficients = params.pop("coefficients", None)
+        if params:
+            raise ValueError(f"unknown x-mixer parameters {sorted(params)}")
+        if not orders:
+            raise ValueError("at least one interaction order is required")
+        if coefficients is not None and len(coefficients) != len(orders):
+            raise ValueError("coefficients must match the number of orders")
+        masks: list[int] = []
+        coeffs: list[float] = []
+        for idx, order in enumerate(orders):
+            order = int(order)
+            if not 1 <= order <= n:
+                raise ValueError(f"interaction order {order} out of range for n={n}")
+            weight = 1.0 if coefficients is None else float(coefficients[idx])
+            for combo in combinations(range(n), order):
+                masks.append(_term_mask(combo, n))
+                coeffs.append(weight)
+        return ShardedMixerConfig("x", tuple(masks), tuple(coeffs), 1)
+    if canonical == "multiangle_x":
+        terms = params.pop("terms", None)
+        if params:
+            raise ValueError(f"unknown multiangle-x parameters {sorted(params)}")
+        if terms is None:
+            terms = [(i,) for i in range(n)]
+        masks = tuple(_term_mask(term, n) for term in terms)
+        if not masks:
+            raise ValueError("a multi-angle X mixer needs at least one term")
+        return ShardedMixerConfig("multiangle_x", masks, (1.0,) * len(masks), len(masks))
+    if canonical == "grover":
+        if params:
+            raise ValueError(f"unknown grover-mixer parameters {sorted(params)}")
+        return ShardedMixerConfig("grover")
+    raise ValueError(
+        f"mixer family {canonical!r} has no sharded execution path "
+        "(supported: 'x', 'multiangle_x', 'grover')"
+    )
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkerConfig:
+    index: int
+    chunk: Chunk
+    n: int
+    k: int | None
+    shards: int
+    cost_vectorized: Callable[[np.ndarray], np.ndarray]
+    value_chunk: int = 1 << 16
+
+
+def _local_wht(block: np.ndarray) -> None:
+    """In-place *normalized* WHT along axis 0 of a contiguous (d, M) block."""
+    from ...mixers.xmixer import walsh_hadamard_transform
+
+    walsh_hadamard_transform(block, out=block)
+
+
+class _WorkerState:
+    """One shard worker's side of the command protocol."""
+
+    def __init__(self, cfg: _WorkerConfig):
+        self.cfg = cfg
+        self.local_dim = cfg.chunk.size
+        self.names: list[list[str]] = []
+        self.batch = 0
+        self._own: dict[int, tuple] = {}
+        self._partners: dict[tuple[int, int], tuple] = {}
+        self.values: np.ndarray | None = None
+        self.local_labels: np.ndarray | None = None  # Dicke only
+        self.layers: np.ndarray | None = None
+
+    # -- segment plumbing ------------------------------------------------
+    def _close_handles(self) -> None:
+        for shm, _ in list(self._own.values()) + list(self._partners.values()):
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._own.clear()
+        self._partners.clear()
+
+    def remap(self, names: list[list[str]], batch: int) -> None:
+        self._close_handles()
+        self.names = names
+        if batch != self.batch:
+            self.layers = None
+        self.batch = batch
+
+    def view(self, slot: int) -> np.ndarray:
+        entry = self._own.get(slot)
+        if entry is None:
+            shm = attach_segment(self.names[slot][self.cfg.index])
+            arr = np.ndarray((self.local_dim, self.batch), dtype=np.complex128, buffer=shm.buf)
+            entry = (shm, arr)
+            self._own[slot] = entry
+        return entry[1]
+
+    def partner_view(self, slot: int, shard: int) -> np.ndarray:
+        entry = self._partners.get((slot, shard))
+        if entry is None:
+            shm = attach_segment(self.names[slot][shard])
+            arr = np.ndarray((self.local_dim, self.batch), dtype=np.complex128, buffer=shm.buf)
+            entry = (shm, arr)
+            self._partners[(slot, shard)] = entry
+        return entry[1]
+
+    # -- labels / diagonals ----------------------------------------------
+    def _global_labels(self, lo: int, hi: int) -> np.ndarray:
+        if self.cfg.k is None:
+            return np.arange(self.cfg.chunk.start + lo, self.cfg.chunk.start + hi, dtype=np.int64)
+        return self.local_labels[lo:hi]
+
+    def _row_chunk(self) -> int:
+        return max(1024, (1 << 20) // max(1, self.batch))
+
+    def _term_signs(self, labels_u: np.ndarray, mask: int) -> np.ndarray:
+        return 1.0 - 2.0 * (popcount(labels_u & np.uint64(mask)) & 1)
+
+    def _combined_diag(self, lo: int, hi: int, masks, coeffs) -> np.ndarray:
+        labels_u = np.arange(
+            self.cfg.chunk.start + lo, self.cfg.chunk.start + hi, dtype=np.uint64
+        )
+        diag = np.zeros(hi - lo, dtype=np.float64)
+        for mask, coeff in zip(masks, coeffs):
+            diag += coeff * self._term_signs(labels_u, mask)
+        return diag
+
+    def _term_matrix(self, lo: int, hi: int, masks, coeffs) -> np.ndarray:
+        labels_u = np.arange(
+            self.cfg.chunk.start + lo, self.cfg.chunk.start + hi, dtype=np.uint64
+        )
+        out = np.empty((hi - lo, len(masks)), dtype=np.float64)
+        for t, (mask, coeff) in enumerate(zip(masks, coeffs)):
+            out[:, t] = coeff * self._term_signs(labels_u, mask)
+        return out
+
+    # -- operations ------------------------------------------------------
+    def setup(self, names: list[list[str]], batch: int) -> tuple[float, float]:
+        self.remap(names, batch)
+        if self.cfg.k is not None:
+            self.local_labels = chunk_labels(self.cfg.chunk, self.cfg.n, self.cfg.k)
+        values = np.empty(self.local_dim, dtype=np.float64)
+        step = self.cfg.value_chunk
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            bits = ints_to_bit_matrix(self._global_labels(lo, hi), self.cfg.n)
+            values[lo:hi] = self.cfg.cost_vectorized(bits)
+        self.values = values
+        return float(values.min()), float(values.max())
+
+    def load_uniform(self, slot: int, amplitude: complex) -> None:
+        self.view(slot)[:] = amplitude
+
+    def cost_phase(self, slot: int, gammas: np.ndarray, sign: float) -> None:
+        view = self.view(slot)
+        factor = sign * 1j
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            view[lo:hi] *= np.exp(
+                np.multiply.outer(self.values[lo:hi], factor * gammas)
+            )
+
+    def diag_phase(self, slot: int, masks, coeffs, betas: np.ndarray, sign: float,
+                   scale: float) -> None:
+        view = self.view(slot)
+        factor = sign * 1j
+        step = self._row_chunk()
+        combine = betas.shape[0] == 1
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            if combine:
+                d = self._combined_diag(lo, hi, masks, coeffs)
+                exponent = np.multiply.outer(d, factor * betas[0])
+            else:
+                E = self._term_matrix(lo, hi, masks, coeffs)
+                exponent = E @ (factor * betas)
+            phases = np.exp(exponent)
+            if scale != 1.0:
+                phases *= scale
+            view[lo:hi] *= phases
+
+    def wht_local(self, slot: int) -> None:
+        _local_wht(self.view(slot))
+
+    def butterfly(self, level: int, src_slot: int, dst_slot: int) -> None:
+        bit = 1 << level
+        partner = self.cfg.index ^ bit
+        own_src = self.view(src_slot)
+        partner_src = self.partner_view(src_slot, partner)
+        own_dst = self.view(dst_slot)
+        if self.cfg.index & bit:
+            np.subtract(partner_src, own_src, out=own_dst)
+        else:
+            np.add(own_src, partner_src, out=own_dst)
+
+    def colsum(self, slot: int) -> np.ndarray:
+        return self.view(slot).sum(axis=0)
+
+    def grover_update(self, slot: int, factors: np.ndarray) -> None:
+        self.view(slot)[:] += factors[None, :]
+
+    def mul_values(self, slot: int) -> None:
+        self.view(slot)[:] *= self.values[:, None]
+
+    def expectation_part(self, slot: int) -> np.ndarray:
+        view = self.view(slot)
+        acc = np.zeros(self.batch, dtype=np.float64)
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            block = view[lo:hi]
+            p2 = block.real ** 2 + block.imag ** 2
+            acc += self.values[lo:hi] @ p2
+        return acc
+
+    def norm_part(self, slot: int) -> np.ndarray:
+        view = self.view(slot)
+        acc = np.zeros(self.batch, dtype=np.float64)
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            block = view[lo:hi]
+            acc += (block.real ** 2 + block.imag ** 2).sum(axis=0)
+        return acc
+
+    def gsp_part(self, slot: int, optimum: float) -> np.ndarray:
+        view = self.view(slot)
+        acc = np.zeros(self.batch, dtype=np.float64)
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            mask = np.isclose(self.values[lo:hi], optimum, rtol=_OPT_RTOL, atol=_OPT_ATOL)
+            if mask.any():
+                block = view[lo:hi][mask]
+                acc += (block.real ** 2 + block.imag ** 2).sum(axis=0)
+        return acc
+
+    # -- adjoint-gradient helpers ---------------------------------------
+    def _ensure_layers(self, p: int) -> np.ndarray:
+        if self.layers is None or self.layers.shape[0] != p:
+            self.layers = np.empty((p, 2, self.local_dim, self.batch), dtype=np.complex128)
+        return self.layers
+
+    def store_layer(self, k: int, j: int, slot: int, p: int) -> None:
+        self._ensure_layers(p)[k, j] = self.view(slot)
+
+    def load_layer(self, k: int, j: int, slot: int) -> None:
+        self.view(slot)[:] = self.layers[k, j]
+
+    def layer_colsum(self, k: int, j: int) -> np.ndarray:
+        return self.layers[k, j].sum(axis=0)
+
+    def gamma_grad_part(self, phi_slot: int, k: int) -> np.ndarray:
+        phi = self.view(phi_slot)
+        chi = self.layers[k, 0]
+        acc = np.zeros(self.batch, dtype=np.float64)
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            pb, cb = phi[lo:hi], chi[lo:hi]
+            imag = pb.real * cb.imag - pb.imag * cb.real
+            acc += self.values[lo:hi] @ imag
+        return acc
+
+    def xgrad_part(self, phi_slot: int, psi_slot: int, masks, coeffs,
+                   combine: bool) -> np.ndarray:
+        phi = self.view(phi_slot)
+        psi = self.view(psi_slot)
+        T = 1 if combine else len(masks)
+        acc = np.zeros((T, self.batch), dtype=np.float64)
+        step = self._row_chunk()
+        for lo in range(0, self.local_dim, step):
+            hi = min(lo + step, self.local_dim)
+            pb, sb = phi[lo:hi], psi[lo:hi]
+            imag = pb.real * sb.imag - pb.imag * sb.real
+            if combine:
+                acc[0] += self._combined_diag(lo, hi, masks, coeffs) @ imag
+            else:
+                acc += self._term_matrix(lo, hi, masks, coeffs).T @ imag
+        return acc
+
+    # -- sampling / gather / io ------------------------------------------
+    def sample_local(self, slot: int, col: int, count: int, seed: int) -> np.ndarray:
+        probs = np.abs(self.view(slot)[:, col]) ** 2
+        cdf = np.cumsum(probs)
+        rng = np.random.default_rng(seed)
+        draws = rng.random(count) * cdf[-1]
+        indices = np.searchsorted(cdf, draws, side="right")
+        np.clip(indices, 0, self.local_dim - 1, out=indices)
+        if self.cfg.k is None:
+            return (self.cfg.chunk.start + indices).astype(np.int64)
+        return self.local_labels[indices]
+
+    def gather(self, slot: int, col: int) -> np.ndarray:
+        return self.view(slot)[:, col].copy()
+
+    def checkpoint(self, slot: int, directory: str) -> None:
+        np.save(Path(directory) / f"shard-{self.cfg.index}.npy", self.view(slot))
+
+    def restore(self, slot: int, directory: str) -> None:
+        block = np.load(Path(directory) / f"shard-{self.cfg.index}.npy")
+        if block.shape != (self.local_dim, self.batch):
+            raise ValueError(
+                f"checkpoint shard {self.cfg.index} has shape {block.shape}, "
+                f"expected {(self.local_dim, self.batch)}"
+            )
+        self.view(slot)[:] = block
+
+    def rss(self) -> tuple[int, int]:
+        current = peak = 0
+        try:
+            with open("/proc/self/status", "r", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        current = int(line.split()[1]) * 1024
+                    elif line.startswith("VmHWM:"):
+                        peak = int(line.split()[1]) * 1024
+        except OSError:  # pragma: no cover - /proc-less platforms
+            pass
+        return current, peak
+
+    # -- dispatch --------------------------------------------------------
+    def dispatch(self, op: str, args: tuple):
+        handler = getattr(self, op)
+        return handler(*args)
+
+
+def _worker_main(cfg: _WorkerConfig, conn) -> None:
+    state = _WorkerState(cfg)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message[0]
+            if op == "exit":
+                conn.send(("ok", None))
+                break
+            try:
+                result = state.dispatch(op, message[1:])
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+                continue
+            conn.send(("ok", result))
+    finally:
+        state._close_handles()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+class ShardedExecutor:
+    """Drives one sharded QAOA evolution across pinned worker processes.
+
+    Parameters
+    ----------
+    structure:
+        A :class:`~repro.problems.registry.ProblemStructure` (space-free).
+    mixer:
+        A :class:`ShardedMixerConfig` (see :func:`sharded_mixer_config`).
+    p:
+        Number of QAOA rounds.
+    shards:
+        Worker count.  WHT mixers require a power of two that divides the
+        (full-space) dimension; the Grover mixer accepts any count >= 2.
+    batch:
+        Initial number of statevector columns.
+    """
+
+    def __init__(self, structure, mixer: ShardedMixerConfig, p: int,
+                 shards: int, *, batch: int = 1):
+        if p < 1:
+            raise ValueError("a QAOA needs at least one round")
+        if shards < 2:
+            raise ValueError("sharded execution needs at least 2 shards")
+        self.structure = structure
+        self.mixer = mixer
+        self.p = int(p)
+        self.n = int(structure.n)
+        self.k = structure.k
+        self.dim = int(structure.dim)
+        self.maximize = bool(structure.maximize)
+        if shards > self.dim:
+            raise ValueError(f"cannot split dim {self.dim} into {shards} shards")
+
+        if mixer.needs_wht:
+            if self.k is not None:
+                raise ValueError(
+                    f"mixer kind {mixer.kind!r} acts on the full space; Dicke "
+                    "subspaces shard with the Grover mixer only"
+                )
+            if shards & (shards - 1):
+                raise ValueError(
+                    f"WHT mixers need a power-of-two shard count, got {shards}"
+                )
+            chunks = split_full_space(self.n, shards)
+        elif self.k is None:
+            chunks = split_full_space(self.n, shards)
+        else:
+            chunks = split_dicke_space(self.n, self.k, shards)
+        self.chunks = chunks
+        self.shards = len(chunks)
+        self._s = self.shards.bit_length() - 1  # butterfly levels (WHT kinds)
+        self._sqrt_dim = float(np.sqrt(float(self.dim)))
+
+        self.workspace = ShardedWorkspace([c.size for c in chunks], batch, slots=2)
+        ctx = mp.get_context("fork")
+        self._procs = []
+        self._conns = []
+        for chunk in chunks:
+            parent, child = ctx.Pipe()
+            cfg = _WorkerConfig(
+                index=chunk.index,
+                chunk=chunk,
+                n=self.n,
+                k=self.k,
+                shards=self.shards,
+                cost_vectorized=structure.cost_vectorized,
+            )
+            proc = ctx.Process(target=_worker_main, args=(cfg, child), daemon=True)
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        self._closed = False
+        try:
+            extrema = self._command("setup", self.workspace.segment_names(),
+                                    self.workspace.batch)
+        except Exception:
+            self.close()
+            raise
+        self.value_min = min(e[0] for e in extrema)
+        self.value_max = max(e[1] for e in extrema)
+        self._sim_slot: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def optimum(self) -> float:
+        """Best objective value over the feasible space (by sense)."""
+        return self.value_max if self.maximize else self.value_min
+
+    @property
+    def num_angles(self) -> int:
+        """Flat angle vector length (betas then gammas)."""
+        return self.mixer.betas_per_round * self.p + self.p
+
+    # -- command plumbing ------------------------------------------------
+    def _command(self, op: str, *payload):
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        message = (op,) + payload
+        for conn in self._conns:
+            conn.send(message)
+        results = []
+        errors = []
+        for index, conn in enumerate(self._conns):
+            try:
+                status, value = conn.recv()
+            except EOFError:
+                errors.append(f"shard {index}: worker died")
+                continue
+            if status == "ok":
+                results.append(value)
+            else:
+                errors.append(f"shard {index}:\n{value}")
+        if errors:
+            raise ShardedExecutionError(
+                f"sharded op {op!r} failed on {len(errors)} shard(s):\n"
+                + "\n".join(errors)
+            )
+        return results
+
+    def _sync(self) -> None:
+        self._command("remap", self.workspace.segment_names(), self.workspace.batch)
+
+    def ensure_batch(self, batch: int) -> None:
+        """Re-shape the shared buffers to ``batch`` columns (no-op if equal)."""
+        if self.workspace.ensure(batch):
+            self._sim_slot = None
+            self._sync()
+
+    def _ensure_slots(self, count: int) -> None:
+        if self.workspace.ensure_slots(count):
+            self._sync()
+
+    # -- angle layout ----------------------------------------------------
+    def _split_batch(self, angles: np.ndarray) -> tuple[list[np.ndarray], np.ndarray, int]:
+        angles = np.asarray(angles, dtype=np.float64)
+        if angles.ndim == 1:
+            angles = angles[None, :]
+        if angles.ndim != 2 or angles.shape[1] != self.num_angles:
+            raise ValueError(
+                f"expected an (M, {self.num_angles}) angle matrix "
+                f"({self.mixer.betas_per_round * self.p} betas + {self.p} gammas "
+                f"per row), got shape {angles.shape}"
+            )
+        transposed = np.ascontiguousarray(angles.T)
+        B = self.mixer.betas_per_round
+        beta_rounds = [transposed[k * B:(k + 1) * B] for k in range(self.p)]
+        gammas = transposed[B * self.p:]
+        return beta_rounds, gammas, angles.shape[0]
+
+    # -- evolution -------------------------------------------------------
+    def _transform(self, slot: int, scratch: int) -> int:
+        """Full-WHT one statevector batch: local butterfly + s exchange levels.
+
+        The local transform (low bits) and the cross-shard levels (high bits)
+        act on disjoint index bits, so their order is immaterial; the state
+        ends in whichever of ``slot``/``scratch`` the level parity lands on.
+        """
+        self._command("wht_local", slot)
+        cur, other = slot, scratch
+        for level in range(self._s):
+            self._command("butterfly", level, cur, other)
+            cur, other = other, cur
+        return cur
+
+    def _apply_mixer(self, slot: int, betas_k: np.ndarray, sign: float) -> int:
+        """One mixer layer with per-column angles; returns the new state slot."""
+        if self.mixer.kind == "grover":
+            S = np.sum(self._command("colsum", slot), axis=0)
+            factors = (np.exp(sign * 1j * betas_k[0]) - 1.0) * S / float(self.dim)
+            self._command("grover_update", slot, factors)
+            return slot
+        scratch = 1 - slot if slot in (0, 1) else 0
+        t = self._transform(slot, scratch)
+        self._command(
+            "diag_phase", t, self.mixer.masks, self.mixer.coeffs,
+            betas_k, sign, 2.0 ** -self._s,
+        )
+        t_scratch = next(s for s in (0, 1, 2) if s != t and s < self.workspace.num_slots)
+        return self._transform(t, t_scratch)
+
+    def _forward(self, beta_rounds, gammas, M: int, *, store_layers: bool = False) -> int:
+        self.ensure_batch(M)
+        cur = 0
+        self._command("load_uniform", cur, complex(1.0 / self._sqrt_dim))
+        for k in range(self.p):
+            self._command("cost_phase", cur, gammas[k], -1.0)
+            if store_layers:
+                self._command("store_layer", k, 0, cur, self.p)
+            cur = self._apply_mixer(cur, beta_rounds[k], -1.0)
+            if store_layers:
+                self._command("store_layer", k, 1, cur, self.p)
+        return cur
+
+    def expectation_batch(self, angles: np.ndarray) -> np.ndarray:
+        """``<C>`` for every row of an ``(M, num_angles)`` angle matrix."""
+        beta_rounds, gammas, M = self._split_batch(angles)
+        cur = self._forward(beta_rounds, gammas, M)
+        self._sim_slot = cur
+        return np.sum(self._command("expectation_part", cur), axis=0)
+
+    def value_and_gradient_batch(self, angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched expectation values and exact adjoint gradients.
+
+        One sharded forward pass with per-round layer recording, then the
+        fused transform-domain adjoint recursion described in the module
+        docstring.  Shapes ``(M,)`` and ``(M, num_angles)``.
+        """
+        beta_rounds, gammas, M = self._split_batch(angles)
+        if self.mixer.needs_wht:
+            self._ensure_slots(3)
+        cur = self._forward(beta_rounds, gammas, M, store_layers=True)
+        energies = np.sum(self._command("expectation_part", cur), axis=0)
+
+        self._command("mul_values", cur)  # phi = C psi
+        scale = 2.0 ** -self._s
+        grad_beta_blocks: list[np.ndarray] = [None] * self.p  # type: ignore[list-item]
+        grad_gammas = np.empty((self.p, M), dtype=np.float64)
+        for k in range(self.p - 1, -1, -1):
+            betas_k = beta_rounds[k]
+            if self.mixer.kind == "grover":
+                S_phi = np.sum(self._command("colsum", cur), axis=0)
+                S_psi = np.sum(self._command("layer_colsum", k, 1), axis=0)
+                grad_beta_blocks[k] = (
+                    2.0 * np.imag(np.conj(S_phi) * S_psi) / float(self.dim)
+                )[None, :]
+                factors = (np.exp(1j * betas_k[0]) - 1.0) * S_phi / float(self.dim)
+                self._command("grover_update", cur, factors)
+            else:
+                scratch = next(s for s in (0, 1, 2) if s != cur)
+                phi_t = self._transform(cur, scratch)
+                rem = [s for s in (0, 1, 2) if s != phi_t]
+                self._command("load_layer", k, 1, rem[0])
+                psi_t = self._transform(rem[0], rem[1])
+                partials = self._command(
+                    "xgrad_part", phi_t, psi_t, self.mixer.masks, self.mixer.coeffs,
+                    self.mixer.kind == "x",
+                )
+                grad_beta_blocks[k] = 2.0 * scale * np.sum(partials, axis=0)
+                self._command(
+                    "diag_phase", phi_t, self.mixer.masks, self.mixer.coeffs,
+                    betas_k, +1.0, scale,
+                )
+                t_scratch = next(s for s in (0, 1, 2) if s != phi_t)
+                cur = self._transform(phi_t, t_scratch)
+            grad_gammas[k] = 2.0 * np.sum(self._command("gamma_grad_part", cur, k), axis=0)
+            if k:
+                self._command("cost_phase", cur, gammas[k], +1.0)
+
+        gradient = np.empty((M, self.num_angles), dtype=np.float64)
+        cursor = 0
+        for block in grad_beta_blocks:
+            gradient[:, cursor:cursor + block.shape[0]] = block.T
+            cursor += block.shape[0]
+        gradient[:, cursor:] = grad_gammas.T
+        self._sim_slot = None  # the state buffers hold phi, not psi
+        return energies, gradient
+
+    # -- result extraction ----------------------------------------------
+    def simulate(self, angles: np.ndarray) -> dict:
+        """Evolve one angle set and reduce the result scalars.
+
+        Returns ``{"expectation", "ground_state_probability", "norm"}``; the
+        final state stays resident in the shard buffers for
+        :meth:`sample` / :meth:`gather_state` / :meth:`checkpoint` until the
+        next evolution overwrites it.
+        """
+        angles = np.asarray(angles, dtype=np.float64).ravel()
+        beta_rounds, gammas, _ = self._split_batch(angles[None, :])
+        cur = self._forward(beta_rounds, gammas, 1)
+        self._sim_slot = cur
+        expectation = float(np.sum(self._command("expectation_part", cur), axis=0)[0])
+        gsp = float(np.sum(self._command("gsp_part", cur, self.optimum), axis=0)[0])
+        norm = float(np.sqrt(np.sum(self._command("norm_part", cur), axis=0)[0]))
+        return {
+            "expectation": expectation,
+            "ground_state_probability": gsp,
+            "norm": norm,
+        }
+
+    def _require_state(self) -> int:
+        if self._sim_slot is None:
+            raise RuntimeError(
+                "no resident final state (run simulate()/expectation_batch() "
+                "first; gradient passes consume the state buffers)"
+            )
+        return self._sim_slot
+
+    def sample(self, shots: int, rng: np.random.Generator | int | None = None,
+               *, col: int = 0) -> np.ndarray:
+        """Draw measurement outcomes (full-space labels) from the resident state.
+
+        Two-stage exact sampling: shard totals give a multinomial split of
+        the shots, then each worker samples its local distribution.
+        """
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        slot = self._require_state()
+        totals = np.array([part[col] for part in self._command("norm_part", slot)])
+        counts = rng.multinomial(shots, totals / totals.sum())
+        labels = []
+        for index, count in enumerate(counts):
+            if count == 0:
+                continue
+            seed = int(rng.integers(0, 2 ** 63 - 1))
+            conn = self._conns[index]
+            conn.send(("sample_local", slot, col, int(count), seed))
+            status, value = conn.recv()
+            if status != "ok":
+                raise ShardedExecutionError(f"shard {index}:\n{value}")
+            labels.append(value)
+        out = np.concatenate(labels) if labels else np.zeros(0, dtype=np.int64)
+        return out[rng.permutation(out.size)]
+
+    def gather_state(self, *, col: int = 0) -> np.ndarray:
+        """Concatenate the resident final state (small dims only; tests)."""
+        if self.dim > GATHER_LIMIT:
+            raise ValueError(
+                f"refusing to gather a dim-{self.dim} statevector into the "
+                f"coordinator (limit {GATHER_LIMIT})"
+            )
+        slot = self._require_state()
+        return np.concatenate(self._command("gather", slot, col))
+
+    # -- checkpointing ----------------------------------------------------
+    def checkpoint(self, directory: str | os.PathLike) -> None:
+        """Persist the resident state: one ``.npy`` per shard plus a manifest.
+
+        The manifest write and the shard dumps run under the run-store
+        :class:`~repro.io.locking.FileLock`, so concurrent executors sharing
+        a checkpoint directory serialize cleanly.
+        """
+        slot = self._require_state()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with FileLock(directory / ".lock"):
+            self._command("checkpoint", slot, str(directory))
+            manifest = {
+                "n": self.n,
+                "k": self.k,
+                "dim": self.dim,
+                "shards": self.shards,
+                "batch": self.workspace.batch,
+                "chunks": [[c.start, c.stop] for c in self.chunks],
+            }
+            (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+    def restore(self, directory: str | os.PathLike) -> None:
+        """Load a checkpoint written by a same-shaped executor."""
+        directory = Path(directory)
+        with FileLock(directory / ".lock"):
+            manifest = json.loads((directory / "manifest.json").read_text())
+            if (manifest["n"], manifest["k"], manifest["shards"]) != (self.n, self.k, self.shards):
+                raise ValueError(
+                    f"checkpoint shape (n={manifest['n']}, k={manifest['k']}, "
+                    f"shards={manifest['shards']}) does not match executor "
+                    f"(n={self.n}, k={self.k}, shards={self.shards})"
+                )
+            self.ensure_batch(int(manifest["batch"]))
+            self._command("restore", 0, str(directory))
+        self._sim_slot = 0
+
+    # -- introspection / lifecycle ----------------------------------------
+    def rss(self) -> dict:
+        """Current and peak RSS of the coordinator and every worker."""
+        worker = self._command("rss")
+        own = _WorkerState.rss(self)  # reads /proc/self, needs no state
+        return {
+            "coordinator": {"rss": own[0], "peak": own[1]},
+            "workers": [{"rss": r, "peak": p} for r, p in worker],
+            "max_peak": max([own[1]] + [p for _, p in worker]),
+            "total_peak": own[1] + sum(p for _, p in worker),
+        }
+
+    def close(self) -> None:
+        """Shut workers down and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker safety net
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self.workspace.close()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedExecutor(n={self.n}, k={self.k}, dim={self.dim}, "
+            f"shards={self.shards}, mixer={self.mixer.kind!r}, p={self.p})"
+        )

@@ -7,14 +7,23 @@ function, its vectorized form, the feasible space it is meant to be evaluated
 on and its brute-force optimum.  :class:`ProblemInstance` provides that
 bundle, and :func:`make_problem` builds the standard instances used in the
 paper's figures from a name plus a seed.
+
+Large-n execution paths (sharded statevectors, the compressed Grover
+simulator) cannot afford to materialize the feasible space's ``2^n`` label
+array just to know what the cost function is.  :func:`make_problem_structure`
+therefore exposes the *space-free* half of the construction — the cost
+callables, the optimization sense and the (n, k) geometry — as a
+:class:`ProblemStructure`; :func:`make_problem` is now a thin wrapper that
+attaches the eager space on top.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import comb
 from typing import Callable
 
-import networkx as nx
+import networkx as nx  # noqa: F401  (re-exported context for metadata graphs)
 import numpy as np
 
 from ..hilbert.subspace import DickeSpace, FeasibleSpace, FullSpace
@@ -37,7 +46,13 @@ from .maxcut import maxcut_values as _maxcut_values
 from .vertex_cover import vertex_cover as _vertex_cover
 from .vertex_cover import vertex_cover_values as _vertex_cover_values
 
-__all__ = ["ProblemInstance", "make_problem", "PROBLEM_NAMES"]
+__all__ = [
+    "ProblemInstance",
+    "ProblemStructure",
+    "make_problem",
+    "make_problem_structure",
+    "PROBLEM_NAMES",
+]
 
 PROBLEM_NAMES = (
     "maxcut",
@@ -48,7 +63,60 @@ PROBLEM_NAMES = (
     "number_partition",
     "ising",
     "qubo",
+    "hamming",
 )
+
+
+@dataclass
+class ProblemStructure:
+    """The space-free description of a problem instance.
+
+    Everything :func:`make_problem` derives deterministically from
+    ``(name, n, seed, params)`` *except* the materialized feasible space:
+    the cost callables, the optimization sense and the geometry.  This is
+    what the sharded and compressed execution paths consume — they can ask
+    for ``dim`` without ever allocating a ``2^n`` label array.
+
+    Attributes
+    ----------
+    name:
+        Problem family name (e.g. ``"maxcut"``).
+    n:
+        Number of qubits.
+    k:
+        Hamming-weight constraint for Dicke-space problems, ``None`` for
+        full-space problems.
+    cost / cost_vectorized / maximize / metadata:
+        As on :class:`ProblemInstance`.
+    value_of_weight:
+        Optional analytic hook ``w -> C(x)`` for objectives that depend on a
+        bitstring only through its Hamming weight.  When present the full
+        value spectrum (distinct values + binomial degeneracies) is known in
+        closed form for *any* n — the key that unlocks compressed Grover
+        simulation far beyond enumerable dimensions.
+    """
+
+    name: str
+    n: int
+    k: int | None
+    cost: Callable[[np.ndarray], float]
+    cost_vectorized: Callable[[np.ndarray], np.ndarray]
+    maximize: bool = True
+    metadata: dict = field(default_factory=dict)
+    value_of_weight: Callable[[int], float] | None = None
+
+    @property
+    def dim(self) -> int:
+        """Feasible-space dimension — computed, never materialized."""
+        if self.k is None:
+            return 1 << self.n
+        return comb(self.n, self.k)
+
+    def build_space(self) -> FeasibleSpace:
+        """Materialize the feasible space (the eager ``make_problem`` half)."""
+        if self.k is None:
+            return FullSpace(self.n)
+        return DickeSpace(self.n, self.k)
 
 
 @dataclass
@@ -109,6 +177,154 @@ class ProblemInstance:
         return float(expectation) / opt
 
 
+def make_problem_structure(
+    name: str,
+    n: int,
+    seed: int = 0,
+    *,
+    k: int | None = None,
+    edge_probability: float = 0.5,
+    clause_density: float = 6.0,
+    sat_k: int = 3,
+    penalty: float = 2.0,
+) -> ProblemStructure:
+    """Construct the space-free :class:`ProblemStructure` of a registered family.
+
+    Deterministic in ``(name, n, seed, params)`` exactly like
+    :func:`make_problem` (which wraps this), but never touches a ``2^n``
+    array — safe to call at any n the large-scale execution paths support.
+    """
+    name = str(name).lower()
+    if name not in PROBLEM_NAMES:
+        raise ValueError(f"unknown problem {name!r}; choose from {sorted(PROBLEM_NAMES)}")
+
+    if name == "maxcut":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemStructure(
+            name="maxcut",
+            n=n,
+            k=None,
+            cost=lambda x, g=graph: _maxcut(g, x),
+            cost_vectorized=lambda bits, g=graph: _maxcut_values(g, bits),
+            metadata={"graph": graph, "seed": seed, "edge_probability": edge_probability},
+        )
+
+    if name == "ksat":
+        instance = _random_ksat(n, k=sat_k, clause_density=clause_density, seed=seed)
+        return ProblemStructure(
+            name="ksat",
+            n=n,
+            k=None,
+            cost=lambda x, inst=instance: _ksat(inst, x),
+            cost_vectorized=lambda bits, inst=instance: _ksat_values(inst, bits),
+            metadata={
+                "instance": instance,
+                "seed": seed,
+                "clause_density": clause_density,
+                "k": sat_k,
+            },
+        )
+
+    if name == "max_independent_set":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemStructure(
+            name="max_independent_set",
+            n=n,
+            k=None,
+            cost=lambda x, g=graph, w=penalty: _max_independent_set(g, x, penalty=w),
+            cost_vectorized=lambda bits, g=graph, w=penalty: _max_independent_set_values(
+                g, bits, penalty=w
+            ),
+            metadata={
+                "graph": graph,
+                "seed": seed,
+                "penalty": penalty,
+                "edge_probability": edge_probability,
+            },
+        )
+
+    if name == "number_partition":
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 1.0, size=n)
+        return ProblemStructure(
+            name="number_partition",
+            n=n,
+            k=None,
+            cost=lambda x, w=weights: _number_partition(w, x),
+            cost_vectorized=lambda bits, w=weights: _number_partition_values(w, bits),
+            metadata={"weights": weights, "seed": seed},
+        )
+
+    if name == "ising":
+        rng = np.random.default_rng(seed)
+        h = rng.uniform(-1.0, 1.0, size=n)
+        J = np.triu(rng.uniform(-1.0, 1.0, size=(n, n)), k=1)
+        return ProblemStructure(
+            name="ising",
+            n=n,
+            k=None,
+            cost=lambda x, hh=h, jj=J: _ising_energy(hh, jj, x),
+            cost_vectorized=lambda bits, hh=h, jj=J: _ising_energy_values(hh, jj, bits),
+            maximize=False,  # the classical convention: minimize the energy
+            metadata={"h": h, "J": J, "seed": seed},
+        )
+
+    if name == "qubo":
+        rng = np.random.default_rng(seed)
+        Q = rng.uniform(-1.0, 1.0, size=(n, n))
+        Q = (Q + Q.T) / 2.0
+        return ProblemStructure(
+            name="qubo",
+            n=n,
+            k=None,
+            cost=lambda x, q=Q: _qubo_value(q, x),
+            cost_vectorized=lambda bits, q=Q: _qubo_values(q, bits),
+            metadata={"Q": Q, "seed": seed},
+        )
+
+    if name == "hamming":
+        # C(x) = w(x) * (n - w(x)): the balanced-weight objective.  It depends
+        # on a bitstring only through its Hamming weight, so the full value
+        # spectrum is analytic (binomial degeneracies) at any n — the
+        # reference workload for compressed Grover simulation.
+        return ProblemStructure(
+            name="hamming",
+            n=n,
+            k=None,
+            cost=lambda x, nn=n: float(int(np.sum(x)) * (nn - int(np.sum(x)))),
+            cost_vectorized=lambda bits, nn=n: (
+                bits.sum(axis=1) * (nn - bits.sum(axis=1))
+            ).astype(np.float64),
+            metadata={"seed": seed},
+            value_of_weight=lambda w, nn=n: float(w * (nn - w)),
+        )
+
+    if k is None:
+        k = n // 2
+
+    if name == "densest_subgraph":
+        graph = erdos_renyi(n, edge_probability, seed=seed)
+        return ProblemStructure(
+            name="densest_subgraph",
+            n=n,
+            k=k,
+            cost=lambda x, g=graph: _densest_subgraph(g, x),
+            cost_vectorized=lambda bits, g=graph: _densest_subgraph_values(g, bits),
+            metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
+        )
+
+    # vertex_cover
+    graph = erdos_renyi(n, edge_probability, seed=seed)
+    return ProblemStructure(
+        name="vertex_cover",
+        n=n,
+        k=k,
+        cost=lambda x, g=graph: _vertex_cover(g, x),
+        cost_vectorized=lambda bits, g=graph: _vertex_cover_values(g, bits),
+        metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
+    )
+
+
 def make_problem(
     name: str,
     n: int,
@@ -125,8 +341,9 @@ def make_problem(
     Covers the paper's four figure families (``"maxcut"``, ``"ksat"``,
     ``"densest_subgraph"``, ``"vertex_cover"``) plus the extra objectives of
     :mod:`repro.problems.extra` (``"max_independent_set"``,
-    ``"number_partition"``, ``"ising"``, ``"qubo"``), whose random instances
-    are regenerated deterministically from ``seed``.  Name lookup is
+    ``"number_partition"``, ``"ising"``, ``"qubo"``) and the analytic
+    ``"hamming"`` balanced-weight objective, whose random instances are
+    regenerated deterministically from ``seed``.  Name lookup is
     case-insensitive.
 
     Parameters
@@ -148,107 +365,21 @@ def make_problem(
         Edge-violation penalty of the unconstrained Max-Independent-Set
         formulation.
     """
-    name = str(name).lower()
-    if name not in PROBLEM_NAMES:
-        raise ValueError(f"unknown problem {name!r}; choose from {sorted(PROBLEM_NAMES)}")
-
-    if name == "maxcut":
-        graph = erdos_renyi(n, edge_probability, seed=seed)
-        return ProblemInstance(
-            name="maxcut",
-            space=FullSpace(n),
-            cost=lambda x, g=graph: _maxcut(g, x),
-            cost_vectorized=lambda bits, g=graph: _maxcut_values(g, bits),
-            metadata={"graph": graph, "seed": seed, "edge_probability": edge_probability},
-        )
-
-    if name == "ksat":
-        instance = _random_ksat(n, k=sat_k, clause_density=clause_density, seed=seed)
-        return ProblemInstance(
-            name="ksat",
-            space=FullSpace(n),
-            cost=lambda x, inst=instance: _ksat(inst, x),
-            cost_vectorized=lambda bits, inst=instance: _ksat_values(inst, bits),
-            metadata={
-                "instance": instance,
-                "seed": seed,
-                "clause_density": clause_density,
-                "k": sat_k,
-            },
-        )
-
-    if name == "max_independent_set":
-        graph = erdos_renyi(n, edge_probability, seed=seed)
-        return ProblemInstance(
-            name="max_independent_set",
-            space=FullSpace(n),
-            cost=lambda x, g=graph, w=penalty: _max_independent_set(g, x, penalty=w),
-            cost_vectorized=lambda bits, g=graph, w=penalty: _max_independent_set_values(
-                g, bits, penalty=w
-            ),
-            metadata={
-                "graph": graph,
-                "seed": seed,
-                "penalty": penalty,
-                "edge_probability": edge_probability,
-            },
-        )
-
-    if name == "number_partition":
-        rng = np.random.default_rng(seed)
-        weights = rng.uniform(0.1, 1.0, size=n)
-        return ProblemInstance(
-            name="number_partition",
-            space=FullSpace(n),
-            cost=lambda x, w=weights: _number_partition(w, x),
-            cost_vectorized=lambda bits, w=weights: _number_partition_values(w, bits),
-            metadata={"weights": weights, "seed": seed},
-        )
-
-    if name == "ising":
-        rng = np.random.default_rng(seed)
-        h = rng.uniform(-1.0, 1.0, size=n)
-        J = np.triu(rng.uniform(-1.0, 1.0, size=(n, n)), k=1)
-        return ProblemInstance(
-            name="ising",
-            space=FullSpace(n),
-            cost=lambda x, hh=h, jj=J: _ising_energy(hh, jj, x),
-            cost_vectorized=lambda bits, hh=h, jj=J: _ising_energy_values(hh, jj, bits),
-            maximize=False,  # the classical convention: minimize the energy
-            metadata={"h": h, "J": J, "seed": seed},
-        )
-
-    if name == "qubo":
-        rng = np.random.default_rng(seed)
-        Q = rng.uniform(-1.0, 1.0, size=(n, n))
-        Q = (Q + Q.T) / 2.0
-        return ProblemInstance(
-            name="qubo",
-            space=FullSpace(n),
-            cost=lambda x, q=Q: _qubo_value(q, x),
-            cost_vectorized=lambda bits, q=Q: _qubo_values(q, bits),
-            metadata={"Q": Q, "seed": seed},
-        )
-
-    if k is None:
-        k = n // 2
-
-    if name == "densest_subgraph":
-        graph = erdos_renyi(n, edge_probability, seed=seed)
-        return ProblemInstance(
-            name="densest_subgraph",
-            space=DickeSpace(n, k),
-            cost=lambda x, g=graph: _densest_subgraph(g, x),
-            cost_vectorized=lambda bits, g=graph: _densest_subgraph_values(g, bits),
-            metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
-        )
-
-    # vertex_cover
-    graph = erdos_renyi(n, edge_probability, seed=seed)
+    structure = make_problem_structure(
+        name,
+        n,
+        seed,
+        k=k,
+        edge_probability=edge_probability,
+        clause_density=clause_density,
+        sat_k=sat_k,
+        penalty=penalty,
+    )
     return ProblemInstance(
-        name="vertex_cover",
-        space=DickeSpace(n, k),
-        cost=lambda x, g=graph: _vertex_cover(g, x),
-        cost_vectorized=lambda bits, g=graph: _vertex_cover_values(g, bits),
-        metadata={"graph": graph, "seed": seed, "k": k, "edge_probability": edge_probability},
+        name=structure.name,
+        space=structure.build_space(),
+        cost=structure.cost,
+        cost_vectorized=structure.cost_vectorized,
+        maximize=structure.maximize,
+        metadata=structure.metadata,
     )

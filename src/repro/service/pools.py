@@ -22,11 +22,10 @@ import json
 import threading
 from collections import OrderedDict
 
-from ..api.mixers import make_mixer
-from ..api.solver import QAOASolver, memoized_problem
+from ..api.routing import select_execution_path
+from ..api.solver import QAOASolver
 from ..api.spec import SolveSpec
 from ..backend import active_backend
-from ..core.ansatz import QAOAAnsatz
 from ..hpc.memory import warm_entry_bytes
 from ..mixers.base import DiagonalizedMixer
 
@@ -41,13 +40,18 @@ def pool_fingerprint(spec: SolveSpec) -> str:
     strategy and its seed only steer the angle search, so they are excluded.
     The active array backend is included: pooled workspaces capture the
     backend at construction, so entries built under different backends must
-    not be shared.
+    not be shared.  The routed execution path (and its shard count) is
+    included for the same reason — a ``REPRO_SHARDS`` change must not hit a
+    dense entry.
     """
+    plan = select_execution_path(spec)
     payload = {
         "problem": spec.problem.to_dict(),
         "mixer": spec.mixer.to_dict(),
         "p": spec.p,
         "backend": active_backend().name,
+        "execution": plan.path,
+        "shards": plan.shards,
     }
     text = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -56,27 +60,50 @@ def pool_fingerprint(spec: SolveSpec) -> str:
 class WarmEntry:
     """One fingerprint's live components plus its execution lock.
 
-    The entry's ansatz owns mutable workspaces, so at most one request group
-    may execute on it at a time — callers hold :attr:`lock` around strategy
-    runs and simulations.  ``hits`` counts how many requests the entry served.
+    The entry's ansatz owns mutable workspaces (for sharded plans: live
+    worker processes and shared-memory segments), so at most one request
+    group may execute on it at a time — callers hold :attr:`lock` around
+    strategy runs and simulations.  ``hits`` counts how many requests the
+    entry served.
     """
 
     def __init__(self, fingerprint: str, spec: SolveSpec):
         self.fingerprint = fingerprint
         self.backend_name = active_backend().name
-        self.problem = memoized_problem(spec.problem)
-        self.mixer = make_mixer(spec.mixer.name, self.problem.space, **spec.mixer.params)
-        self.ansatz = QAOAAnsatz.from_problem(self.problem, self.mixer, spec.p)
+        solver = QAOASolver(spec)
+        self.plan = solver.plan
+        self.problem = solver.problem  # None for non-dense plans
+        self.mixer = solver.mixer  # None for non-dense plans
+        self.ansatz = solver.ansatz
         self.lock = threading.Lock()
         self.hits = 0
 
     def solver_for(self, spec: SolveSpec) -> QAOASolver:
         """A :class:`QAOASolver` for ``spec`` running on this entry's components."""
-        return QAOASolver.from_components(spec, self.problem, self.mixer, self.ansatz)
+        return QAOASolver.from_components(
+            spec, self.problem, self.mixer, self.ansatz, plan=self.plan
+        )
 
     @property
     def estimated_bytes(self) -> int:
         """Current analytic residency estimate (grows with the batched workspace)."""
+        if self.plan.path == "sharded":
+            executor = self.ansatz.executor
+            return warm_entry_bytes(
+                executor.dim,
+                p=self.ansatz.p,
+                batch_capacity=executor.workspace.batch,
+                kind="sharded",
+                shards=executor.shards,
+            )
+        if self.plan.path == "compressed":
+            distinct = self.ansatz.spectrum.num_distinct
+            return warm_entry_bytes(
+                distinct,
+                p=self.ansatz.p,
+                kind="compressed",
+                distinct=distinct,
+            )
         workspace = self.ansatz._batched_workspace
         dense = isinstance(self.mixer, DiagonalizedMixer)
         return warm_entry_bytes(
@@ -87,8 +114,17 @@ class WarmEntry:
             complex_vectors=dense and not self.mixer._real_basis,
         )
 
+    def close(self) -> None:
+        """Release engine resources (sharded workers); dense/compressed: no-op."""
+        closer = getattr(self.ansatz, "close", None)
+        if closer is not None:
+            closer()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"WarmEntry({self.fingerprint[:12]}..., dim={self.ansatz.schedule.dim})"
+        return (
+            f"WarmEntry({self.fingerprint[:12]}..., "
+            f"dim={self.ansatz.schedule.dim}, path={self.plan.path})"
+        )
 
 
 class WarmPool:
@@ -144,12 +180,14 @@ class WarmPool:
 
     def _evict_locked(self) -> None:
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            evicted.close()
             self.evictions += 1
         if self.max_bytes is None:
             return
         while len(self._entries) > 1 and self._total_bytes_locked() > self.max_bytes:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            evicted.close()
             self.evictions += 1
 
     def _total_bytes_locked(self) -> int:
@@ -169,8 +207,10 @@ class WarmPool:
             return fingerprint in self._entries
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every entry, releasing engine resources (counters are kept)."""
         with self._lock:
+            for entry in self._entries.values():
+                entry.close()
             self._entries.clear()
 
     def stats(self) -> dict:

@@ -258,3 +258,129 @@ class TestMemoryAccounting:
 
     def test_rss_bytes_nonnegative(self):
         assert rss_bytes() >= 0
+
+
+class TestChunkLabelSeams:
+    """The Gosper-walk / ``unrank_state`` seam at Dicke chunk boundaries.
+
+    ``chunk_labels`` walks each chunk with Gosper's hack starting from the
+    chunk's ``unrank_state``-derived ``start_label``; the two mechanisms must
+    agree exactly where chunks meet, or a sharded Dicke evolution would
+    silently duplicate or skip states at every boundary.
+    """
+
+    @pytest.mark.parametrize(
+        "n,k,workers",
+        [
+            (6, 3, 4),
+            (8, 4, 3),
+            (9, 2, 5),
+            (10, 5, 7),
+            (7, 1, 2),
+            (7, 6, 2),
+            (5, 0, 3),  # single-state subspace, k = 0
+            (5, 5, 3),  # single-state subspace, k = n
+        ],
+    )
+    def test_boundary_successors(self, n, k, workers):
+        from repro.hilbert.bitops import gosper_next
+
+        chunks = split_dicke_space(n, k, workers)
+        labels_per_chunk = [chunk_labels(chunk, n, k) for chunk in chunks]
+        # First label of chunk i+1 is the Gosper successor of the last label
+        # of chunk i.
+        for left, right in zip(labels_per_chunk, labels_per_chunk[1:]):
+            assert right[0] == gosper_next(int(left[-1]))
+        # And the concatenation is exactly the sorted weight-k subspace.
+        joined = np.concatenate(labels_per_chunk)
+        assert joined.size == comb(n, k)
+        assert np.all(np.diff(joined) > 0)
+        bits = np.array([bin(int(x)).count("1") for x in joined])
+        assert np.all(bits == k)
+
+    def test_start_labels_match_unrank(self):
+        from repro.hilbert import unrank_state
+
+        for n, k, workers in [(8, 3, 4), (9, 4, 6)]:
+            chunks = split_dicke_space(n, k, workers)
+            for chunk in chunks:
+                assert chunk.start_label == unrank_state(chunk.start, n, k)
+
+
+class TestShardedStateBytes:
+    def test_matches_manual_accounting(self):
+        from repro.hpc.memory import sharded_state_bytes
+
+        # 2^20 states over 4 shards, batch 1, two buffers: each worker maps
+        # 2^18 * (2*16) bytes of state plus 2^18 * 8 bytes of values.
+        assert sharded_state_bytes(1 << 20, 4) == (1 << 18) * (2 * 16 + 8)
+        # Gradient adds the third buffer.
+        assert sharded_state_bytes(1 << 20, 4, slots=3) == (1 << 18) * (3 * 16 + 8)
+        # Uneven splits size by the largest chunk.
+        assert sharded_state_bytes(10, 3) == 4 * (2 * 16 + 8)
+
+    def test_scaling_beats_dense_estimate(self):
+        from repro.hpc.memory import sharded_state_bytes
+
+        n = 26
+        dense = simulator_memory_estimate(n)
+        per_worker = sharded_state_bytes(1 << n, 4, slots=3)
+        assert per_worker < 0.75 * dense
+
+    def test_validation(self):
+        from repro.hpc.memory import sharded_state_bytes
+
+        with pytest.raises(ValueError):
+            sharded_state_bytes(0, 2)
+        with pytest.raises(ValueError):
+            sharded_state_bytes(16, 0)
+        with pytest.raises(ValueError):
+            sharded_state_bytes(4, 8)
+        with pytest.raises(ValueError):
+            sharded_state_bytes(16, 2, batch=0)
+        with pytest.raises(ValueError):
+            sharded_state_bytes(16, 2, slots=0)
+
+
+class TestWarmEntryBytesKinds:
+    def test_dense_unchanged(self):
+        from repro.hpc.memory import warm_entry_bytes
+
+        dim = 1 << 8
+        base = warm_entry_bytes(dim, p=2)
+        assert base == dim * 8 + 3 * dim * 16 + 2 * 2 * dim * 16
+        assert warm_entry_bytes(dim, p=2, kind="dense") == base
+
+    def test_sharded_accounts_all_workers(self):
+        from repro.hpc.memory import sharded_state_bytes, warm_entry_bytes
+
+        dim, shards, p = 1 << 12, 4, 2
+        total = warm_entry_bytes(dim, p=p, kind="sharded", shards=shards)
+        per_worker = sharded_state_bytes(dim, shards, slots=3)
+        layers = p * 2 * (dim // shards) * 16
+        assert total == shards * (per_worker + layers)
+
+    def test_compressed_is_tiny(self):
+        from repro.hpc.memory import warm_entry_bytes
+
+        small = warm_entry_bytes(1 << 10, p=3, kind="compressed", distinct=51)
+        dense = warm_entry_bytes(1 << 10, p=3)
+        assert small < dense / 10
+        # Sizing never touches dim, so astronomically large dims work.
+        huge = warm_entry_bytes(1 << 100, p=3, kind="compressed", distinct=51)
+        assert huge == small
+
+    def test_unsizable_entries_raise(self):
+        from repro.hpc.memory import warm_entry_bytes
+
+        with pytest.raises(ValueError, match="shard count"):
+            warm_entry_bytes(1 << 12, kind="sharded")
+        with pytest.raises(ValueError, match="distinct"):
+            warm_entry_bytes(1 << 12, kind="compressed")
+        with pytest.raises(ValueError, match="cannot size"):
+            warm_entry_bytes(1 << 12, kind="gpu_resident")
+
+    def test_peak_rss(self):
+        from repro.hpc.memory import peak_rss_bytes
+
+        assert peak_rss_bytes() >= rss_bytes() > 0

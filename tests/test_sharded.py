@@ -1,0 +1,278 @@
+"""Tests for the sharded statevector engine (`repro.hpc.sharded`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.mixers import make_mixer
+from repro.core.ansatz import QAOAAnsatz
+from repro.hpc.sharded import (
+    ShardedAnsatz,
+    ShardedExecutor,
+    ShardedWorkspace,
+    sharded_mixer_config,
+)
+from repro.problems.registry import make_problem, make_problem_structure
+
+
+def _dense(name, n, mixer, p, *, k=None, mixer_params=None):
+    kwargs = {} if k is None else {"k": k}
+    problem = make_problem(name, n, seed=3, **kwargs)
+    mx = make_mixer(mixer, problem.space, **(mixer_params or {}))
+    return problem, QAOAAnsatz.from_problem(problem, mx, p)
+
+
+def _sharded(name, n, mixer, p, shards, *, k=None, mixer_params=None):
+    structure = make_problem_structure(name, n, seed=3, k=k)
+    return ShardedAnsatz(structure, mixer, p, shards, mixer_params=mixer_params)
+
+
+class TestShardedWorkspace:
+    def test_segment_layout_and_bytes(self):
+        ws = ShardedWorkspace([8, 8, 8, 8], batch=2, slots=2)
+        try:
+            names = ws.segment_names()
+            assert len(names) == 2 and all(len(slot) == 4 for slot in names)
+            assert len({n for slot in names for n in slot}) == 8
+            assert ws.state_bytes() == 2 * 4 * 8 * 2 * 16
+            assert ws.capacity == 2
+        finally:
+            ws.close()
+
+    def test_ensure_rebuilds_with_new_names(self):
+        ws = ShardedWorkspace([16, 16], batch=1)
+        try:
+            before = ws.segment_names()
+            assert ws.ensure(1) is False
+            assert ws.ensure(4) is True
+            after = ws.segment_names()
+            assert ws.batch == 4
+            assert not set(after[0]) & set(before[0])
+            # Shrinks rebuild too (exact sizing keeps residency tight).
+            assert ws.ensure(2) is True
+            assert ws.batch == 2
+        finally:
+            ws.close()
+
+    def test_ensure_slots_grows_monotonically(self):
+        ws = ShardedWorkspace([4], batch=1, slots=2)
+        try:
+            assert ws.num_slots == 2
+            assert ws.ensure_slots(3) is True
+            assert ws.ensure_slots(2) is False
+            assert ws.num_slots == 3
+        finally:
+            ws.close()
+
+    def test_close_idempotent(self):
+        ws = ShardedWorkspace([4], batch=1)
+        ws.close()
+        ws.close()
+        with pytest.raises(RuntimeError):
+            ws.ensure_slots(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedWorkspace([4], batch=0)
+        with pytest.raises(ValueError):
+            ShardedWorkspace([4, 0])
+
+
+CASES = [
+    # (problem, n, k, mixer, p, shards, mixer_params)
+    ("maxcut", 6, None, "x", 2, 4, None),
+    ("hamming", 7, None, "x", 1, 2, None),
+    ("maxcut", 6, None, "x", 1, 2, {"orders": [1, 2]}),
+    ("ksat", 6, None, "multiangle_x", 2, 4, None),
+    ("maxcut", 6, None, "grover", 2, 4, None),
+    ("maxcut", 7, None, "grover", 1, 3, None),  # non-power-of-two shards
+    ("densest_subgraph", 7, 3, "grover", 2, 4, None),  # Dicke subspace
+]
+
+
+class TestShardedMatchesDense:
+    @pytest.mark.parametrize("problem,n,k,mixer,p,shards,params", CASES)
+    def test_expectation_and_gradient(self, problem, n, k, mixer, p, shards, params):
+        _, dense = _dense(problem, n, mixer, p, k=k, mixer_params=params)
+        sharded = _sharded(problem, n, mixer, p, shards, k=k, mixer_params=params)
+        try:
+            assert sharded.num_angles == dense.num_angles
+            rng = np.random.default_rng(11)
+            angles = 2 * np.pi * rng.random((3, dense.num_angles))
+            np.testing.assert_allclose(
+                sharded.expectation_batch(angles),
+                dense.expectation_batch(angles),
+                rtol=0,
+                atol=1e-10,
+            )
+            values_d, grads_d = dense.value_and_gradient_batch(angles)
+            values_s, grads_s = sharded.value_and_gradient_batch(angles)
+            np.testing.assert_allclose(values_s, values_d, rtol=0, atol=1e-10)
+            np.testing.assert_allclose(grads_s, grads_d, rtol=0, atol=1e-10)
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("problem,n,k,mixer,p,shards,params", CASES[:3])
+    def test_simulate_scalars_and_state(self, problem, n, k, mixer, p, shards, params):
+        _, dense = _dense(problem, n, mixer, p, k=k, mixer_params=params)
+        sharded = _sharded(problem, n, mixer, p, shards, k=k, mixer_params=params)
+        try:
+            angles = 2 * np.pi * np.random.default_rng(4).random(dense.num_angles)
+            sim_d = dense.simulate(angles)
+            sim_s = sharded.simulate(angles)
+            assert abs(sim_s.expectation() - sim_d.expectation()) < 1e-10
+            assert (
+                abs(
+                    sim_s.ground_state_probability()
+                    - sim_d.ground_state_probability()
+                )
+                < 1e-10
+            )
+            assert abs(sim_s.norm() - 1.0) < 1e-10
+            np.testing.assert_allclose(
+                sim_s.probabilities(), sim_d.probabilities(), rtol=0, atol=1e-10
+            )
+        finally:
+            sharded.close()
+
+    def test_gradient_matches_finite_differences(self):
+        sharded = _sharded("maxcut", 6, "x", 2, 4)
+        try:
+            angles = np.array([0.3, 1.1, 0.7, 2.0])
+            _, grad = sharded.value_and_gradient(angles)
+            eps = 1e-6
+            for i in range(angles.size):
+                left, right = angles.copy(), angles.copy()
+                left[i] -= eps
+                right[i] += eps
+                fd = (sharded.expectation(right) - sharded.expectation(left)) / (2 * eps)
+                assert abs(fd - grad[i]) < 1e-5
+        finally:
+            sharded.close()
+
+
+class TestShardedLifecycle:
+    def test_batch_reshape_roundtrip(self):
+        sharded = _sharded("maxcut", 6, "x", 1, 2)
+        try:
+            rng = np.random.default_rng(0)
+            one = 2 * np.pi * rng.random((1, sharded.num_angles))
+            many = 2 * np.pi * rng.random((5, sharded.num_angles))
+            e1 = sharded.expectation_batch(one)
+            e5 = sharded.expectation_batch(many)
+            e1_again = sharded.expectation_batch(one)
+            np.testing.assert_allclose(e1, e1_again, rtol=0, atol=1e-12)
+            assert e5.shape == (5,)
+        finally:
+            sharded.close()
+
+    def test_sampling_matches_distribution(self):
+        sharded = _sharded("maxcut", 6, "grover", 1, 4)
+        try:
+            angles = np.array([0.4, 0.9])
+            sim = sharded.simulate(angles)
+            probs = sim.probabilities()
+            labels = sim.sample(4000, rng=7)
+            assert labels.shape == (4000,)
+            counts = np.bincount(labels, minlength=probs.size) / 4000.0
+            assert np.abs(counts - probs).max() < 0.05
+        finally:
+            sharded.close()
+
+    def test_dicke_sampling_stays_in_subspace(self):
+        sharded = _sharded("densest_subgraph", 7, "grover", 1, 3, k=3)
+        try:
+            sim = sharded.simulate(np.array([0.5, 1.2]))
+            labels = sim.sample(200, rng=0)
+            weights = np.array([bin(int(x)).count("1") for x in labels])
+            assert np.all(weights == 3)
+        finally:
+            sharded.close()
+
+    def test_checkpoint_restore_roundtrip(self, tmp_path):
+        sharded = _sharded("maxcut", 6, "x", 1, 2)
+        try:
+            sharded.simulate(np.array([0.8, 1.5]))
+            state = sharded.executor.gather_state()
+            sharded.executor.checkpoint(tmp_path / "ckpt")
+            assert (tmp_path / "ckpt" / "manifest.json").exists()
+            # Overwrite the resident state, then restore.
+            sharded.simulate(np.array([2.2, 0.1]))
+            sharded.executor.restore(tmp_path / "ckpt")
+            np.testing.assert_array_equal(sharded.executor.gather_state(), state)
+        finally:
+            sharded.close()
+
+    def test_checkpoint_shape_mismatch_raises(self, tmp_path):
+        a = _sharded("maxcut", 6, "x", 1, 2)
+        b = _sharded("maxcut", 6, "x", 1, 4)
+        try:
+            a.simulate(np.array([0.8, 1.5]))
+            a.executor.checkpoint(tmp_path / "ckpt")
+            with pytest.raises(ValueError, match="does not match"):
+                b.executor.restore(tmp_path / "ckpt")
+        finally:
+            a.close()
+            b.close()
+
+    def test_simulation_outlives_close_for_scalars_only(self):
+        sharded = _sharded("maxcut", 6, "x", 1, 2)
+        sim = sharded.simulate(np.array([0.8, 1.5]))
+        expectation = sim.expectation()
+        sharded.close()
+        assert sim.expectation() == expectation  # scalars were reduced eagerly
+        with pytest.raises(RuntimeError, match="closed"):
+            sim.probabilities()
+        # close is idempotent.
+        sharded.close()
+
+    def test_rss_reports_all_processes(self):
+        sharded = _sharded("maxcut", 6, "x", 1, 2)
+        try:
+            sharded.expectation_batch(np.zeros((1, sharded.num_angles)))
+            rss = sharded.executor.rss()
+            assert len(rss["workers"]) == 2
+            assert rss["max_peak"] > 0
+            assert rss["total_peak"] >= rss["max_peak"]
+        finally:
+            sharded.close()
+
+
+class TestShardedValidation:
+    def test_unsupported_mixer_family(self):
+        with pytest.raises(ValueError, match="no sharded execution path"):
+            sharded_mixer_config("xy", 6)
+
+    def test_wht_mixers_need_power_of_two_shards(self):
+        structure = make_problem_structure("maxcut", 6, seed=3)
+        config = sharded_mixer_config("x", 6)
+        with pytest.raises(ValueError, match="power-of-two"):
+            ShardedExecutor(structure, config, 1, 3)
+
+    def test_wht_mixers_reject_dicke_subspaces(self):
+        structure = make_problem_structure("densest_subgraph", 7, seed=3, k=3)
+        config = sharded_mixer_config("x", 7)
+        with pytest.raises(ValueError, match="Grover"):
+            ShardedExecutor(structure, config, 1, 2)
+
+    def test_too_many_shards(self):
+        structure = make_problem_structure("densest_subgraph", 5, seed=3, k=1)
+        config = sharded_mixer_config("grover", 5)
+        with pytest.raises(ValueError, match="shards"):
+            ShardedExecutor(structure, config, 1, 9)
+
+    def test_mixer_config_matches_registry_enumeration(self):
+        config = sharded_mixer_config("x", 4, {"orders": [1, 2]})
+        assert len(config.masks) == 4 + 6
+        multi = sharded_mixer_config("multiangle_x", 4)
+        assert multi.betas_per_round == 4
+        assert multi.masks == (1, 2, 4, 8)
+
+    def test_bad_angle_shape(self):
+        sharded = _sharded("maxcut", 6, "x", 1, 2)
+        try:
+            with pytest.raises(ValueError, match="angle matrix"):
+                sharded.expectation_batch(np.zeros((2, 7)))
+        finally:
+            sharded.close()
