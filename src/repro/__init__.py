@@ -110,9 +110,10 @@ from .problems import (
     vertex_cover,
     vertex_cover_values,
 )
+from .portfolio import Budget, IncumbentBoard, PortfolioResult, race_portfolio
 from .service import SolverService, default_service
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # Resolve REPRO_BACKEND eagerly so a bad value warns at import time (and an
 # uninstalled backend falls back to numpy) instead of surfacing mid-solve.
@@ -188,6 +189,10 @@ __all__ = [
     "random_ksat",
     "vertex_cover",
     "vertex_cover_values",
+    "Budget",
+    "IncumbentBoard",
+    "PortfolioResult",
+    "race_portfolio",
     "SolverService",
     "default_service",
     "__version__",

@@ -17,10 +17,13 @@ natural (maximize/minimize) sense.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 from scipy import optimize
 
 from ..core.ansatz import QAOAAnsatz
+from ..portfolio.budget import Budget
 from .bfgs import GradientMode, local_minimize
 from .result import AngleResult
 
@@ -39,6 +42,8 @@ def basinhop(
     rng: np.random.Generator | int | None = None,
     adaptive_step: bool = True,
     target_acceptance: float = 0.5,
+    budget: Budget | None = None,
+    on_incumbent: Callable[[float, np.ndarray], None] | None = None,
 ) -> AngleResult:
     """Basinhopping starting from ``x0``.
 
@@ -55,21 +60,47 @@ def basinhop(
         When adaptive stepping is on, the step size is nudged up or down every
         few hops to steer the acceptance rate toward ``target_acceptance``,
         matching scipy's behaviour.
+    budget, on_incumbent:
+        Optional anytime plumbing: the budget is threaded into every local
+        search and polled between hops (an exhausted budget returns the best
+        hop so far with ``timed_out=True``); ``on_incumbent(value, angles)``
+        fires whenever the across-hops best improves.
     """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     x0 = np.asarray(x0, dtype=np.float64).ravel()
 
-    best = local_minimize(ansatz, x0, gradient=gradient, maxiter=maxiter)
+    best = local_minimize(
+        ansatz, x0, gradient=gradient, maxiter=maxiter, budget=budget, on_incumbent=on_incumbent
+    )
     current = best
     evaluations = best.evaluations
+    timed_out = best.timed_out
     history = [{"hop": 0, "value": best.value, "accepted": True, "step_size": step_size}]
+
+    def publish_if_best(value: float, angles: np.ndarray) -> None:
+        # Mid-hop improvements only count when they beat the across-hops best.
+        if on_incumbent is None:
+            return
+        if (value > best.value) if ansatz.maximize else (value < best.value):
+            on_incumbent(value, angles)
 
     accepted_count = 0
     for hop in range(1, n_hops + 1):
+        if timed_out or (budget is not None and budget.exhausted()):
+            timed_out = True
+            break
         perturbed = current.angles + rng.uniform(-step_size, step_size, size=current.angles.size)
-        candidate = local_minimize(ansatz, perturbed, gradient=gradient, maxiter=maxiter)
+        candidate = local_minimize(
+            ansatz,
+            perturbed,
+            gradient=gradient,
+            maxiter=maxiter,
+            budget=budget,
+            on_incumbent=publish_if_best if on_incumbent is not None else None,
+        )
         evaluations += candidate.evaluations
+        timed_out = timed_out or candidate.timed_out
 
         # Metropolis acceptance on the *loss* (lower is better internally).
         current_loss = -current.value if ansatz.maximize else current.value
@@ -104,6 +135,7 @@ def basinhop(
         evaluations=evaluations,
         strategy="basinhopping",
         history=history,
+        timed_out=timed_out,
     )
 
 

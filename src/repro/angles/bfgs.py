@@ -14,17 +14,22 @@ matching the comparison of the paper's Figure 5:
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Callable, Literal
 
 import numpy as np
 from scipy import optimize
 
 from ..core.ansatz import QAOAAnsatz
+from ..portfolio.budget import Budget
 from .result import AngleResult
 
 __all__ = ["local_minimize", "GradientMode"]
 
 GradientMode = Literal["adjoint", "finite", "numeric"]
+
+
+class _BudgetExhausted(Exception):
+    """Internal signal unwinding scipy when the budget expires mid-search."""
 
 
 def local_minimize(
@@ -35,6 +40,8 @@ def local_minimize(
     maxiter: int = 200,
     gtol: float = 1e-6,
     fd_eps: float = 1e-6,
+    budget: Budget | None = None,
+    on_incumbent: Callable[[float, np.ndarray], None] | None = None,
 ) -> AngleResult:
     """Find the local optimum of ``<C>`` nearest to ``x0`` with BFGS.
 
@@ -42,56 +49,102 @@ def local_minimize(
     (or ``+<C>`` for minimization problems) is minimized and the returned
     :class:`~repro.angles.result.AngleResult` reports the value in the
     problem's natural sense.
+
+    ``budget`` (optional) makes the search anytime: scipy is polled at every
+    objective call and unwound once the budget is exhausted — after at least
+    one evaluation, so a zero-slack budget still scores ``x0`` — and the best
+    iterate seen so far is returned with ``timed_out=True``.  ``on_incumbent``
+    (optional) is called as ``on_incumbent(value, angles)`` — value in the
+    problem's natural sense — whenever the best-seen point improves.
     """
     x0 = np.asarray(x0, dtype=np.float64).ravel()
     if x0.size != ansatz.num_angles:
         raise ValueError(f"expected {ansatz.num_angles} angles, got {x0.size}")
 
     evaluations = 0
+    best_loss = np.inf
+    best_x = x0.copy()
+
+    def track(x, loss_value: float) -> None:
+        nonlocal best_loss, best_x
+        if loss_value < best_loss:
+            best_loss = loss_value
+            best_x = np.array(x, dtype=np.float64)
+            if on_incumbent is not None:
+                value = -loss_value if ansatz.maximize else loss_value
+                on_incumbent(value, best_x.copy())
+
+    def poll() -> None:
+        # Never before the first evaluation: zero slack still scores the seed.
+        if budget is not None and evaluations > 0 and budget.exhausted():
+            raise _BudgetExhausted
 
     if gradient == "adjoint":
 
         def fun(x):
             nonlocal evaluations
+            poll()
             evaluations += 1
-            return ansatz.loss_and_gradient(x)
+            loss, grad = ansatz.loss_and_gradient(x)
+            track(x, float(loss))
+            return loss, grad
 
-        res = optimize.minimize(
-            fun, x0, jac=True, method="BFGS", options={"maxiter": maxiter, "gtol": gtol}
-        )
+        jac = True
     elif gradient == "finite":
 
         def fun(x):
             nonlocal evaluations
+            poll()
             evaluations += 1
-            return ansatz.loss(x)
+            loss = ansatz.loss(x)
+            track(x, float(loss))
+            return loss
 
         def jac(x):
             nonlocal evaluations
+            poll()
             sign = -1.0 if ansatz.maximize else 1.0
             evaluations += 2 * x.size
             return sign * ansatz.finite_difference_gradient(x, eps=fd_eps)
 
-        res = optimize.minimize(
-            fun, x0, jac=jac, method="BFGS", options={"maxiter": maxiter, "gtol": gtol}
-        )
     elif gradient == "numeric":
 
         def fun(x):
             nonlocal evaluations
+            poll()
             evaluations += 1
-            return ansatz.loss(x)
+            loss = ansatz.loss(x)
+            track(x, float(loss))
+            return loss
 
-        res = optimize.minimize(fun, x0, method="BFGS", options={"maxiter": maxiter, "gtol": gtol})
+        jac = None
     else:
         raise ValueError(f"unknown gradient mode {gradient!r}")
 
-    value = -float(res.fun) if ansatz.maximize else float(res.fun)
+    timed_out = False
+    converged = False
+    iterations = 0
+    try:
+        res = optimize.minimize(
+            fun, x0, jac=jac, method="BFGS", options={"maxiter": maxiter, "gtol": gtol}
+        )
+        converged = bool(res.success)
+        iterations = int(res.nit)
+        final_loss = float(res.fun)
+        final_x = np.asarray(res.x, dtype=np.float64)
+    except _BudgetExhausted:
+        # Early stop: report the best evaluated iterate instead of raising.
+        timed_out = True
+        final_loss = float(best_loss)
+        final_x = best_x
+
+    value = -final_loss if ansatz.maximize else final_loss
     return AngleResult(
-        angles=np.asarray(res.x, dtype=np.float64),
+        angles=final_x,
         value=value,
         p=ansatz.p,
         evaluations=evaluations,
         strategy=f"bfgs-{gradient}",
-        history=[{"converged": bool(res.success), "iterations": int(res.nit)}],
+        history=[{"converged": converged, "iterations": iterations}],
+        timed_out=timed_out,
     )

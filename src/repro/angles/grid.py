@@ -16,11 +16,13 @@ per grid point.
 from __future__ import annotations
 
 from itertools import islice, product
+from typing import Callable
 
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
 from ..core.workspace import default_eval_batch
+from ..portfolio.budget import Budget
 from .result import AngleResult
 
 __all__ = ["grid_search", "grid_axis"]
@@ -41,6 +43,8 @@ def grid_search(
     gamma_range: tuple[float, float] = (0.0, 2.0 * np.pi),
     max_points: int = 2_000_000,
     batch_size: int | None = None,
+    budget: Budget | None = None,
+    on_incumbent: Callable[[float, np.ndarray], None] | None = None,
 ) -> AngleResult:
     """Evaluate ``<C>`` on a regular grid and return the best grid point.
 
@@ -56,6 +60,12 @@ def grid_search(
 
     Ties resolve to the first grid point in ``itertools.product`` order, the
     same point the scalar one-at-a-time loop returned.
+
+    ``budget`` (optional) is polled between chunks: an exhausted budget stops
+    the sweep after the current chunk (the first chunk always evaluates, so a
+    zero-slack budget still scores grid points) and the partial-sweep best is
+    returned with ``timed_out=True``.  ``on_incumbent`` (optional) is called
+    as ``on_incumbent(value, angles)`` whenever a chunk improves the best.
     """
     if batch_size is None:
         batch_size = default_eval_batch(ansatz.schedule.dim)
@@ -75,6 +85,7 @@ def grid_search(
     best_value = -np.inf if ansatz.maximize else np.inf
     best_angles: np.ndarray | None = None
     evaluations = 0
+    timed_out = False
     axes = [beta_axis] * num_betas + [gamma_axis] * ansatz.p
     points = product(*axes)
     while True:
@@ -92,6 +103,11 @@ def grid_search(
         if better:
             best_value = value
             best_angles = angle_matrix[idx]
+            if on_incumbent is not None:
+                on_incumbent(best_value, best_angles.copy())
+        if budget is not None and budget.exhausted():
+            timed_out = True
+            break
 
     assert best_angles is not None
     return AngleResult(
@@ -100,4 +116,5 @@ def grid_search(
         p=ansatz.p,
         evaluations=evaluations,
         strategy="grid",
+        timed_out=timed_out,
     )

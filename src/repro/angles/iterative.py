@@ -22,13 +22,14 @@ Two extrapolation rules are provided:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
 from ..core.precompute import PrecomputedCost
 from ..mixers.base import Mixer
+from ..portfolio.budget import Budget
 from .basinhopping import basinhop
 from .bfgs import GradientMode
 from .checkpoint import AngleCheckpoint
@@ -108,14 +109,22 @@ def _initial_round(
     gradient: GradientMode,
     rng: np.random.Generator,
     maxiter: int,
+    budget: Budget | None = None,
 ) -> AngleResult:
     """Angle search at ``p = 1``: basinhopping from a handful of random starts."""
     best: AngleResult | None = None
     evaluations = 0
+    timed_out = False
     for _ in range(max(1, n_starts)):
+        if best is not None and budget is not None and budget.exhausted():
+            timed_out = True
+            break
         x0 = 2.0 * np.pi * rng.random(ansatz.num_angles)
-        result = basinhop(ansatz, x0, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter)
+        result = basinhop(
+            ansatz, x0, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter, budget=budget
+        )
         evaluations += result.evaluations
+        timed_out = timed_out or result.timed_out
         if best is None:
             best = result
         else:
@@ -129,6 +138,7 @@ def _initial_round(
         p=ansatz.p,
         evaluations=evaluations,
         strategy="iterative-p1",
+        timed_out=timed_out,
     )
 
 
@@ -147,6 +157,8 @@ def find_angles(
     n_starts_p1: int = 3,
     maxiter: int = 200,
     rng: np.random.Generator | int | None = None,
+    budget: Budget | None = None,
+    on_incumbent: Callable[[float, np.ndarray], None] | None = None,
 ) -> dict[int, AngleResult]:
     """Find good angles for rounds ``1 .. p`` iteratively (the paper's ``find_angles``).
 
@@ -171,6 +183,15 @@ def find_angles(
         Gradient mode used by the BFGS local searches.
     n_hops, n_starts_p1, maxiter:
         Basinhopping / BFGS effort knobs.
+    budget, on_incumbent:
+        Optional anytime plumbing.  The budget is threaded into every local
+        search and polled between rounds; when it runs out before round ``p``
+        completes, the last finished round's angles are extrapolated to ``p``
+        rounds, scored once, and returned as a ``timed_out`` round-``p``
+        result — so the caller always gets full-length angles.
+        ``on_incumbent(value, angles)`` fires at each round boundary with the
+        round's angles *extrapolated to ``p`` rounds* and their full-``p``
+        value, keeping published incumbents comparable across strategies.
 
     Returns
     -------
@@ -206,20 +227,23 @@ def find_angles(
     # Escape hatch: direct search at round p from user-provided angles.
     if initial_angles is not None:
         ansatz = make_ansatz(p)
-        result = basinhop(
+        hop = basinhop(
             ansatz,
             np.asarray(initial_angles, dtype=np.float64),
             n_hops=n_hops,
             gradient=gradient,
             rng=rng,
             maxiter=maxiter,
+            budget=budget,
+            on_incumbent=on_incumbent,
         )
         result = AngleResult(
-            angles=result.angles,
-            value=result.value,
+            angles=hop.angles,
+            value=hop.value,
             p=p,
-            evaluations=result.evaluations,
+            evaluations=hop.evaluations,
             strategy="iterative-seeded",
+            timed_out=hop.timed_out,
         )
         results[p] = result
         checkpoint.store(result)
@@ -229,7 +253,21 @@ def find_angles(
     if results:
         start_round = max(results) + 1
 
+    def publish_round(result: AngleResult, rounds: int) -> None:
+        """Report a round boundary as a full-``p`` incumbent."""
+        if on_incumbent is None:
+            return
+        if rounds == p:
+            on_incumbent(result.value, np.array(result.angles, dtype=np.float64))
+            return
+        full = extrapolate_angles(result.angles, rounds, p, method=extrapolation)
+        on_incumbent(float(make_ansatz(p).expectation(full)), full)
+
+    timed_out = False
     for rounds in range(start_round, p + 1):
+        if results and budget is not None and budget.exhausted():
+            timed_out = True
+            break
         ansatz = make_ansatz(rounds)
         if rounds == 1:
             result = _initial_round(
@@ -239,18 +277,23 @@ def find_angles(
                 gradient=gradient,
                 rng=rng,
                 maxiter=maxiter,
+                budget=budget,
             )
         else:
             seed = extrapolate_angles(
                 results[rounds - 1].angles, rounds - 1, rounds, method=extrapolation
             )
-            hop = basinhop(ansatz, seed, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter)
+            hop = basinhop(
+                ansatz, seed, n_hops=n_hops, gradient=gradient, rng=rng, maxiter=maxiter,
+                budget=budget,
+            )
             result = AngleResult(
                 angles=hop.angles,
                 value=hop.value,
                 p=rounds,
                 evaluations=hop.evaluations,
                 strategy="iterative-extrapolated",
+                timed_out=hop.timed_out,
             )
             # The extrapolated seed should never make things worse than the
             # previous round; if basinhopping wandered off, fall back to the
@@ -261,8 +304,30 @@ def find_angles(
                 result = AngleResult(
                     angles=seed, value=seed_value, p=rounds,
                     evaluations=result.evaluations + 1, strategy="iterative-seed-kept",
+                    timed_out=result.timed_out,
                 )
         results[rounds] = result
         checkpoint.store(result)
+        publish_round(result, rounds)
+        timed_out = timed_out or result.timed_out
+
+    if timed_out and p not in results:
+        # Ran out of time mid-build-up: extend the last completed round's
+        # angles to the target depth and score them once, so the caller still
+        # receives a valid (best-effort) round-``p`` result.
+        last = max(results)
+        full = extrapolate_angles(results[last].angles, last, p, method=extrapolation)
+        full_ansatz = make_ansatz(p)
+        results[p] = AngleResult(
+            angles=full,
+            value=float(full_ansatz.expectation(full)),
+            p=p,
+            evaluations=results[last].evaluations + 1,
+            strategy="iterative-truncated",
+            timed_out=True,
+        )
+        publish_round(results[p], p)
+    elif timed_out and p in results:
+        results[p].timed_out = True
 
     return results

@@ -20,10 +20,12 @@ scipy's "precision loss" stop).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
+from ..portfolio.budget import Budget
 
 __all__ = ["MultiStartResult", "multistart_minimize", "default_refine_batch"]
 
@@ -60,7 +62,9 @@ class MultiStartResult:
     the problem's natural sense), ``converged[j]`` whether the gradient
     tolerance was met, ``iterations[j]`` the quasi-Newton iterations spent and
     ``column_evaluations[j]`` how many batched value-and-gradient evaluations
-    involved that column.  ``evaluations`` is the column total.
+    involved that column.  ``evaluations`` is the column total.  ``timed_out``
+    reports whether an exhausted :class:`~repro.portfolio.budget.Budget`
+    froze columns early (their values are the best iterates reached).
     """
 
     angles: np.ndarray
@@ -68,6 +72,7 @@ class MultiStartResult:
     converged: np.ndarray
     iterations: np.ndarray
     column_evaluations: np.ndarray
+    timed_out: bool = False
 
     @property
     def evaluations(self) -> int:
@@ -82,6 +87,8 @@ def multistart_minimize(
     maxiter: int = 200,
     gtol: float = 1e-6,
     batch_size: int | None = None,
+    budget: Budget | None = None,
+    checkpoint: Callable[[float, np.ndarray], None] | None = None,
 ) -> MultiStartResult:
     """Refine M seed angle vectors to their nearest local optima in lock-step.
 
@@ -90,6 +97,15 @@ def multistart_minimize(
     :func:`default_refine_batch`, bounding the adjoint layer store to ~32 MiB)
     and each chunk runs the vectorized BFGS loop to completion.  The
     ``maxiter`` / ``gtol`` knobs match :func:`~repro.angles.bfgs.local_minimize`.
+
+    ``budget`` (optional) is polled once per lock-step iteration: when it is
+    exhausted, the still-active columns freeze at their current iterates and
+    the result reports ``timed_out=True``.  Every chunk evaluates its seeds
+    before the first poll, so even a zero-slack budget returns seed-scored
+    values.  ``checkpoint`` (optional) is called as ``checkpoint(value,
+    angles)`` — value in the problem's natural sense — every time the best
+    iterate across the whole call improves; accepted BFGS steps only ever
+    decrease the loss, so the reported sequence is monotone.
 
     Results are equivalent to running scipy BFGS per seed (same local optima
     up to line-search details) at the batched engine's per-evaluation cost.
@@ -114,9 +130,25 @@ def multistart_minimize(
     converged = np.zeros(total, dtype=bool)
     iterations = np.zeros(total, dtype=np.int64)
     column_evaluations = np.zeros(total, dtype=np.int64)
+
+    progress = None
+    if checkpoint is not None:
+        best_loss = [np.inf]  # cross-chunk incumbent, in loss (minimization) sense
+
+        def progress(chunk_loss: np.ndarray, chunk_x: np.ndarray) -> None:
+            j = int(np.argmin(chunk_loss))
+            cur = float(chunk_loss[j])
+            if cur < best_loss[0]:
+                best_loss[0] = cur
+                value = -cur if ansatz.maximize else cur
+                checkpoint(value, np.array(chunk_x[j], dtype=np.float64))
+
+    timed_out = False
     for start in range(0, total, batch_size):
         stop = min(start + batch_size, total)
-        _minimize_chunk(
+        # After exhaustion, later chunks still evaluate their seeds (one
+        # batched call each) so every output row is a scored iterate.
+        timed_out |= _minimize_chunk(
             ansatz,
             seeds[start:stop],
             maxiter,
@@ -126,6 +158,8 @@ def multistart_minimize(
             converged[start:stop],
             iterations[start:stop],
             column_evaluations[start:stop],
+            budget=budget,
+            progress=progress,
         )
 
     values = -losses if ansatz.maximize else losses
@@ -135,6 +169,7 @@ def multistart_minimize(
         converged=converged,
         iterations=iterations,
         column_evaluations=column_evaluations,
+        timed_out=timed_out,
     )
 
 
@@ -154,8 +189,14 @@ def _minimize_chunk(
     out_conv: np.ndarray,
     out_iter: np.ndarray,
     out_evals: np.ndarray,
-) -> None:
-    """Run the lock-step BFGS loop for one chunk, writing results in place."""
+    budget: Budget | None = None,
+    progress: Callable[[np.ndarray, np.ndarray], None] | None = None,
+) -> bool:
+    """Run the lock-step BFGS loop for one chunk, writing results in place.
+
+    Returns whether the ``budget`` expired mid-chunk (the seeds are always
+    evaluated before the first poll, so results stay valid either way).
+    """
     m, na = seeds.shape
     # Small (active, na)-shaped reductions run on the ansatz's array backend
     # alongside the batched kernels it dispatches.
@@ -171,6 +212,8 @@ def _minimize_chunk(
     out_loss[:] = loss
     out_conv[:] = False
     out_iter[:] = 0
+    if progress is not None:
+        progress(loss, x)
 
     hess_inv = _identity_stack(m, na)
     cols = np.arange(m)  # original chunk column of each active slot
@@ -200,7 +243,12 @@ def _minimize_chunk(
 
     for _ in range(maxiter):
         if x.shape[0] == 0:
-            return
+            return False
+        if budget is not None and budget.exhausted():
+            # Deadline/cancellation: freeze the survivors at their current
+            # (already evaluated) iterates and report the early stop.
+            freeze(np.ones(x.shape[0], dtype=bool), np.zeros(x.shape[0], dtype=bool))
+            return True
         active = x.shape[0]
         out_iter[cols] += 1
 
@@ -330,6 +378,8 @@ def _minimize_chunk(
 
         prev_loss = loss
         x, loss, grad = x_new, loss_new, grad_new
+        if progress is not None:
+            progress(loss, x)
         small_grad = np.abs(grad).max(axis=1) <= gtol
         finished = stalled | small_grad | (no_progress >= _MAX_NO_PROGRESS)
         if finished.any():
@@ -339,3 +389,4 @@ def _minimize_chunk(
     if x.shape[0]:
         remaining = np.ones(x.shape[0], dtype=bool)
         freeze(remaining, np.zeros(x.shape[0], dtype=bool))
+    return False

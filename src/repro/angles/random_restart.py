@@ -20,10 +20,13 @@ Two batched fast paths keep the sweep on BLAS-3 kernels:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..core.ansatz import QAOAAnsatz
 from ..core.workspace import default_eval_batch
+from ..portfolio.budget import Budget
 from .bfgs import GradientMode, local_minimize
 from .multistart import multistart_minimize
 from .result import AngleResult
@@ -163,6 +166,8 @@ def find_angles_random(
     refine_top: int | None = None,
     vectorized: bool | None = None,
     score_batch_size: int | None = None,
+    budget: Budget | None = None,
+    on_incumbent: Callable[[float, np.ndarray], None] | None = None,
 ) -> AngleResult | tuple[AngleResult, list[AngleResult]]:
     """Best of ``iters`` independent random-start BFGS local searches.
 
@@ -177,6 +182,14 @@ def find_angles_random(
     median-angles strategy and Figure 3 consume; unrefined seeds appear as
     their batch-scored values, and each history entry's ``seed_value`` is
     ``None`` when the scoring pass was skipped.
+
+    ``budget``/``on_incumbent`` make the sweep anytime: the budget is threaded
+    into the refiner (vectorized multi-start polls per lock-step iteration,
+    the scipy loop per restart and per objective call) and an exhausted budget
+    returns the best-so-far summary with ``timed_out=True``; seeds are always
+    scored/evaluated at least once before the first poll.
+    ``on_incumbent(value, angles)`` fires on every improvement of the
+    across-restarts best.
     """
     if iters < 1:
         raise ValueError("at least one restart is required")
@@ -204,22 +217,65 @@ def find_angles_random(
         seed_values = None
         refine = set(range(iters))
 
+    timed_out = False
     refined: dict[int, AngleResult] = {}
     if vectorized:
         refine_order = sorted(refine)
-        report = multistart_minimize(ansatz, seeds[refine_order], maxiter=maxiter)
+        report = multistart_minimize(
+            ansatz, seeds[refine_order], maxiter=maxiter, budget=budget, checkpoint=on_incumbent
+        )
         evaluations += report.evaluations
+        timed_out = report.timed_out
         per_column = restart_results_from_report(ansatz, report)
         for pos, i in enumerate(refine_order):
             refined[i] = per_column[pos]
     else:
+        best_so_far = [None]  # across-restarts best value, for incumbent gating
+
+        def publish_if_best(value: float, angles: np.ndarray) -> None:
+            if on_incumbent is None:
+                return
+            prev = best_so_far[0]
+            if prev is None or ((value > prev) if ansatz.maximize else (value < prev)):
+                best_so_far[0] = value
+                on_incumbent(value, angles)
+
         for i in sorted(refine):
-            refined[i] = local_minimize(ansatz, seeds[i], gradient=gradient, maxiter=maxiter)
+            refined[i] = local_minimize(
+                ansatz,
+                seeds[i],
+                gradient=gradient,
+                maxiter=maxiter,
+                budget=budget,
+                on_incumbent=publish_if_best if on_incumbent is not None else None,
+            )
             evaluations += refined[i].evaluations
+            value = refined[i].value
+            prev = best_so_far[0]
+            if prev is None or ((value > prev) if ansatz.maximize else (value < prev)):
+                best_so_far[0] = value
+            if refined[i].timed_out or (budget is not None and budget.exhausted()):
+                timed_out = True
+                break
+        skipped = [i for i in sorted(refine) if i not in refined]
+        if skipped:
+            # Restarts the deadline cut off fall back to their seed scores so
+            # every history row still carries a valid evaluated value.
+            skipped_scores = _score_seeds(ansatz, seeds[skipped], score_batch_size)
+            evaluations += len(skipped)
+            for pos, i in enumerate(skipped):
+                refined[i] = AngleResult(
+                    angles=seeds[i].copy(),
+                    value=float(skipped_scores[pos]),
+                    p=ansatz.p,
+                    evaluations=1,
+                    strategy="random-seed",
+                )
+            refine = refine - set(skipped)
 
     all_results: list[AngleResult] = []
     for i in range(iters):
-        if i in refine:
+        if i in refined:
             result = refined[i]
         else:
             # Unrefined seeds only exist on the pruned path, where every seed
@@ -237,6 +293,7 @@ def find_angles_random(
     summary = summarize_restarts(
         ansatz, all_results, evaluations, seed_values=seed_values, refine=refine
     )
+    summary.timed_out = timed_out
     if return_all:
         return summary, all_results
     return summary

@@ -28,6 +28,10 @@ class AngleResult:
         Name of the strategy that produced the result.
     history:
         Optional per-step records (restart values, accepted hops, ...).
+    timed_out:
+        Whether the run was stopped early by an exhausted
+        :class:`~repro.portfolio.budget.Budget` (deadline or cancellation),
+        in which case ``angles``/``value`` are the best found so far.
     """
 
     angles: np.ndarray
@@ -36,6 +40,7 @@ class AngleResult:
     evaluations: int = 0
     strategy: str = ""
     history: list = field(default_factory=list)
+    timed_out: bool = False
 
     def __post_init__(self) -> None:
         self.angles = np.asarray(self.angles, dtype=np.float64).ravel()
@@ -59,6 +64,7 @@ class AngleResult:
             "p": int(self.p),
             "evaluations": int(self.evaluations),
             "strategy": self.strategy,
+            "timed_out": bool(self.timed_out),
         }
 
     @classmethod
@@ -70,4 +76,5 @@ class AngleResult:
             p=int(data["p"]),
             evaluations=int(data.get("evaluations", 0)),
             strategy=str(data.get("strategy", "")),
+            timed_out=bool(data.get("timed_out", False)),
         )

@@ -29,6 +29,7 @@ from ..angles.result import AngleResult
 from ..core.ansatz import QAOAAnsatz
 from ..core.simulator import QAOAResult
 from ..mixers.base import Mixer
+from ..portfolio.budget import Budget
 from ..problems.registry import ProblemInstance, make_problem
 from .mixers import MIXERS, make_mixer
 from .routing import ExecutionPlan, memoized_structure, select_execution_path, spectrum_for
@@ -118,6 +119,9 @@ class SolveResult:
     execution:
         Which engine produced the result: ``"dense"``, ``"sharded"`` or
         ``"compressed"`` (see :mod:`repro.api.routing`).
+    timed_out:
+        ``True`` when the angle search was stopped early by a deadline or
+        cancellation — ``angles``/``value`` are then the best found in time.
     """
 
     spec: SolveSpec
@@ -133,6 +137,7 @@ class SolveResult:
     simulation: QAOAResult | None = field(repr=False, default=None)
     cached: bool = False
     execution: str = "dense"
+    timed_out: bool = False
 
     def probabilities(self) -> np.ndarray:
         """Sampling probabilities over the feasible space at the best angles."""
@@ -153,12 +158,22 @@ class SolveResult:
         return self.simulation.sample(shots, rng=rng)
 
     @classmethod
-    def from_row(cls, spec: SolveSpec, row: Mapping[str, Any], *, cached: bool = True):
+    def from_row(
+        cls,
+        spec: SolveSpec,
+        row: Mapping[str, Any],
+        *,
+        cached: bool = True,
+        wall_time_s: float | None = None,
+    ):
         """Rebuild the scalar portion of a result from its stored row.
 
         The inverse of :meth:`to_row` up to the fields a flat row cannot carry
         (``angle_result`` history and the final statevector stay ``None``) —
         this is how a result-cache hit materializes without any simulation.
+        ``wall_time_s`` overrides the stored timing — a cache hit passes the
+        (tiny) time it took to *answer*, so every result row carries the wall
+        time this response actually cost, never a stale copy.
         """
         ratio = row.get("approximation_ratio")
         return cls(
@@ -168,11 +183,14 @@ class SolveResult:
             optimum=float(row["optimum"]),
             approximation_ratio=None if ratio is None else float(ratio),
             ground_state_probability=float(row["ground_state_probability"]),
-            evaluations=int(row["evaluations"]),
+            evaluations=int(row.get("evaluations", 0)),
             strategy=str(row["strategy"]),
-            wall_time_s=float(row["wall_time_s"]),
+            wall_time_s=float(
+                row.get("wall_time_s", 0.0) if wall_time_s is None else wall_time_s
+            ),
             cached=cached,
             execution=str(row.get("execution", "dense")),
+            timed_out=bool(row.get("timed_out", False)),
         )
 
     def to_row(self) -> dict:
@@ -206,6 +224,7 @@ class SolveResult:
             "angles": [float(a) for a in self.angles],
             "wall_time_s": float(self.wall_time_s),
             "execution": self.execution,
+            "timed_out": bool(self.timed_out),
         }
 
 
@@ -314,14 +333,31 @@ class QAOASolver:
         if closer is not None:
             closer()
 
-    def find_angles(self, *, seed: int | None = None) -> AngleResult:
-        """Run just the angle strategy (``seed`` overrides the spec's)."""
+    def find_angles(
+        self,
+        *,
+        seed: int | None = None,
+        budget=None,
+        on_incumbent=None,
+    ) -> AngleResult:
+        """Run just the angle strategy (``seed`` overrides the spec's).
+
+        ``budget`` (a :class:`~repro.portfolio.budget.Budget`) and
+        ``on_incumbent`` thread the anytime plumbing into the strategy; they
+        are only forwarded when set, so spec params stay the strategy's own.
+        """
         rng_seed = self.spec.seed if seed is None else seed
+        extra = {}
+        if budget is not None:
+            extra["budget"] = budget
+        if on_incumbent is not None:
+            extra["on_incumbent"] = on_incumbent
         return run_strategy(
             self.spec.strategy.name,
             self.ansatz,
             rng=np.random.default_rng(rng_seed),
             **self.spec.strategy.params,
+            **extra,
         )
 
     def result_from_angles(
@@ -367,16 +403,37 @@ class QAOASolver:
             angle_result=angle_result,
             simulation=simulation,
             execution=self.plan.path,
+            timed_out=bool(angle_result.timed_out),
         )
 
-    def run(self, *, seed: int | None = None) -> SolveResult:
-        """Full solve: angle search, final simulation, metrics."""
+    def run(
+        self,
+        *,
+        seed: int | None = None,
+        timeout_s: float | None = None,
+        budget=None,
+        on_incumbent=None,
+    ) -> SolveResult:
+        """Full solve: angle search, final simulation, metrics.
+
+        ``timeout_s`` bounds the angle search with a fresh
+        :class:`~repro.portfolio.budget.Budget` (nested inside ``budget`` when
+        both are given): on expiry the strategy returns its best-so-far angles
+        and the result reports ``timed_out=True`` instead of raising.
+        """
         started = time.perf_counter()
-        angle_result = self.find_angles(seed=seed)
+        if timeout_s is not None:
+            budget = Budget(timeout_s, parent=budget)
+        angle_result = self.find_angles(seed=seed, budget=budget, on_incumbent=on_incumbent)
         return self.result_from_angles(angle_result, seed=seed, started=started)
 
 
-def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveResult:
+def solve(
+    spec: SolveSpec | Mapping[str, Any] | None = None,
+    *,
+    timeout_s: float | None = None,
+    **kwargs,
+) -> SolveResult:
     """Run one declarative QAOA solve.
 
     Either pass a ready :class:`SolveSpec` (or its dict form)::
@@ -388,6 +445,11 @@ def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveR
     :meth:`SolveSpec.build`::
 
         result = solve(problem="maxcut", n=8, mixer="x", strategy="random", p=3)
+
+    ``timeout_s`` deadline-bounds the angle search for *any* strategy; the
+    result then reports ``timed_out=True`` with the best-so-far angles
+    (deadlines are runtime conditions, deliberately not part of the spec —
+    cache keys stay timing-free).
     """
     if spec is None:
         spec = SolveSpec.build(**kwargs)
@@ -395,6 +457,6 @@ def solve(spec: SolveSpec | Mapping[str, Any] | None = None, **kwargs) -> SolveR
         raise TypeError("pass either a spec or keyword arguments, not both")
     solver = QAOASolver(spec)
     try:
-        return solver.run()
+        return solver.run(timeout_s=timeout_s)
     finally:
         solver.close()

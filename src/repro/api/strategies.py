@@ -33,6 +33,7 @@ from ..angles.multistart import multistart_minimize
 from ..angles.random_restart import find_angles_random
 from ..angles.result import AngleResult
 from ..core.ansatz import QAOAAnsatz
+from ..portfolio.racing import race_portfolio
 from .registry import Registry, is_binding_error
 
 __all__ = ["AngleStrategy", "STRATEGIES", "STRATEGY_NAMES", "find_strategy", "run_strategy"]
@@ -71,6 +72,7 @@ def _normalized(result: AngleResult, name: str, ansatz: QAOAAnsatz) -> AngleResu
         evaluations=result.evaluations,
         strategy=name,
         history=result.history,
+        timed_out=result.timed_out,
     )
 
 
@@ -140,6 +142,7 @@ def _iterative_impl(ansatz, rng, extrapolation: str, name: str, params) -> Angle
             {"round": p, "value": r.value, "evaluations": r.evaluations}
             for p, r in sorted(per_round.items())
         ],
+        timed_out=final.timed_out,
     )
 
 
@@ -166,11 +169,17 @@ def _median(ansatz, *, rng=None, iters: int = 20, polish: bool = False, **params
     multi-instance entry point); this single-instance adaptation exploits the
     same angle concentration across the restarts of one instance.
     """
+    on_incumbent = params.get("on_incumbent")
     summary, all_results = find_angles_random(
         ansatz, iters=iters, rng=_as_rng(rng), return_all=True, **params
     )
     medians = median_angles(all_results)
     evaluated = evaluate_median_angles(ansatz, medians, polish=polish)
+    better_median = (
+        (evaluated.value > summary.value) if ansatz.maximize else (evaluated.value < summary.value)
+    )
+    if on_incumbent is not None and better_median:
+        on_incumbent(evaluated.value, np.array(evaluated.angles, dtype=np.float64))
     return AngleResult(
         angles=evaluated.angles,
         value=evaluated.value,
@@ -178,15 +187,18 @@ def _median(ansatz, *, rng=None, iters: int = 20, polish: bool = False, **params
         evaluations=summary.evaluations + evaluated.evaluations,
         strategy="median",
         history=[{"restarts": iters, "restart_best": summary.value, "polished": bool(polish)}],
+        timed_out=summary.timed_out,
     )
 
 
 @_register("multistart", "multistart_minimize", implements=(multistart_minimize,))
-def _multistart(ansatz, *, rng=None, iters: int = 32, **params):
+def _multistart(ansatz, *, rng=None, iters: int = 32, budget=None, on_incumbent=None, **params):
     """Lock-step vectorized BFGS refinement of ``iters`` random seeds."""
     rng = _as_rng(rng)
     seeds = 2.0 * np.pi * rng.random((int(iters), ansatz.num_angles))
-    report = multistart_minimize(ansatz, seeds, **params)
+    report = multistart_minimize(
+        ansatz, seeds, budget=budget, checkpoint=on_incumbent, **params
+    )
     best = int(np.argmax(report.values)) if ansatz.maximize else int(np.argmin(report.values))
     return AngleResult(
         angles=report.angles[best],
@@ -201,7 +213,25 @@ def _multistart(ansatz, *, rng=None, iters: int = 32, **params):
                 "best_seed": best,
             }
         ],
+        timed_out=report.timed_out,
     )
+
+
+@_register("portfolio", "race", implements=(race_portfolio,))
+def _portfolio(ansatz, *, rng=None, **params):
+    """Race several strategies against a deadline, sharing one incumbent.
+
+    Accepts ``racers`` (list of ``{"name", "params"}`` specs), ``deadline_s``
+    and the other :func:`~repro.portfolio.racing.race_portfolio` knobs; the
+    result's history carries the per-racer reports and the board trail.
+    """
+    on_incumbent = params.pop("on_incumbent", None)
+    outcome = race_portfolio(ansatz, rng=rng, **params)
+    if on_incumbent is not None:
+        on_incumbent(outcome.result.value, np.array(outcome.result.angles, dtype=np.float64))
+    result = _normalized(outcome.result, "portfolio", ansatz)
+    result.history.append({"trail": outcome.trail})
+    return result
 
 
 #: Canonical strategy names, in registration order.

@@ -32,6 +32,11 @@ Commands
     result cache.  ``GET /healthz`` / ``GET /stats`` report liveness and the
     hit/miss/coalescing counters.
 
+``repro bench portfolio``
+    Run the gated anytime-portfolio benchmark (standalone contenders, races
+    at each deadline, time-to-quality gates) and write ``BENCH_portfolio.json``.
+    Exit code 1 if any gate fails.
+
 ``repro backend-info``
     Print the resolved array backend (``REPRO_BACKEND``), its device and the
     relevant library/BLAS versions as JSON — what the CI backend-matrix jobs
@@ -158,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"extra {target} parameter (JSON-decoded; repeatable)",
         )
     p_solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the angle search (any strategy): on "
+        "expiry the best-so-far angles are reported with timed_out=true",
+    )
+    p_solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="portfolio race deadline — shorthand for --param deadline_s=T "
+        "(requires --strategy portfolio)",
+    )
+    p_solve.add_argument(
         "--json",
         dest="json_path",
         default=None,
@@ -217,6 +238,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR|0|1",
         help="spec-keyed result cache: a directory, 1 for the default cache dir, "
         "0 to disable (default: the REPRO_RESULT_CACHE environment variable)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a standalone gated benchmark harness and write its BENCH_*.json",
+    )
+    p_bench.add_argument(
+        "suite",
+        choices=("portfolio",),
+        help="benchmark suite to run (portfolio: anytime racing time-to-quality gates)",
+    )
+    p_bench.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="sweep profile (quick: one instance, two deadlines; full: the "
+        "committed instance x deadline grid)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output document path (default: BENCH_<suite>.json)",
     )
 
     sub.add_parser(
@@ -368,6 +412,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from .api import SolveSpec
 
     if args.spec_path is not None:
+        if args.deadline is not None:
+            raise _CliError("--deadline applies to the flat flags; put deadline_s in the spec")
         if args.spec_path == "-":
             text = sys.stdin.read()
         else:
@@ -380,6 +426,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise _CliError(f"bad spec document: {exc}") from exc
     else:
+        strategy_params = _parse_overrides(args.strategy_params)
+        if args.deadline is not None:
+            if args.deadline <= 0:
+                raise _CliError("--deadline must be positive")
+            strategy_params.setdefault("deadline_s", args.deadline)
         spec = SolveSpec.build(
             problem=args.problem,
             n=args.n,
@@ -388,10 +439,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             mixer=args.mixer,
             mixer_params=_parse_overrides(args.mixer_params),
             strategy=args.strategy,
-            strategy_params=_parse_overrides(args.strategy_params),
+            strategy_params=strategy_params,
             p=args.p,
             seed=args.seed,
         )
+    if args.timeout is not None and args.timeout < 0:
+        raise _CliError("--timeout must be non-negative")
     from .api.routing import select_execution_path
     from .api.solver import QAOASolver
 
@@ -401,7 +454,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(f"execution path: {plan.describe()}")
         solver = QAOASolver(spec, plan=plan)
         try:
-            result = solver.run()
+            result = solver.run(timeout_s=args.timeout)
         finally:
             solver.close()
     except (TypeError, ValueError) as exc:
@@ -420,6 +473,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"  P(optimal state)         : {row['ground_state_probability']:.6f}")
     print(f"  strategy evaluations     : {row['evaluations']}")
     print(f"  wall time                : {row['wall_time_s']:.3f}s")
+    if row.get("timed_out"):
+        print("  timed out                : yes (best-so-far angles reported)")
     print(f"  angles (betas, gammas)   : {np.array2string(result.angles, precision=6)}")
     if args.json_path:
         path = Path(args.json_path)
@@ -516,6 +571,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures and args.experiments else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.portfolio import run_sweep
+
+    out = args.out or f"BENCH_{args.suite}.json"
+    document = run_sweep(args.scale, out)
+    print(f"wrote {out}: all_gates_passed={document['all_gates_passed']}")
+    return 0 if document["all_gates_passed"] else 1
+
+
 def _cmd_backend_info(args: argparse.Namespace) -> int:
     del args
     from .backend import backend_info
@@ -532,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "solve": _cmd_solve,
         "serve": _cmd_serve,
+        "bench": _cmd_bench,
         "backend-info": _cmd_backend_info,
         "status": _cmd_status,
         "report": _cmd_report,

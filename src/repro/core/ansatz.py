@@ -302,6 +302,23 @@ class QAOAAnsatz:
             backend=self.backend,
         )
 
+    def sibling(self) -> "QAOAAnsatz":
+        """An equivalent ansatz with its *own* scratch workspaces.
+
+        The cost table, mixer schedule and initial state are shared (they are
+        immutable at evaluation time); the workspaces — the only mutable
+        per-evaluation scratch — are fresh.  This is what makes concurrent
+        evaluation safe: one ansatz instance is **not** thread-safe, but each
+        thread evaluating its own sibling is (the portfolio racer setup).
+        """
+        return QAOAAnsatz(
+            self.cost,
+            self.schedule,
+            initial_state=self.initial_state,
+            maximize=self.maximize,
+            backend=self.backend,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"QAOAAnsatz(n={self.n}, dim={self.schedule.dim}, p={self.p}, "

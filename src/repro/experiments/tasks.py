@@ -34,6 +34,7 @@ from ..bench.figures import (
     grover_large_rows,
     run_figure3,
 )
+from ..bench.portfolio import portfolio_rows
 from ..bench.workloads import FIGURE2_CASE_LABELS, bench_scale
 
 __all__ = [
@@ -167,6 +168,64 @@ def _execute_grover(kind: str, n: int, **kwargs) -> list[dict]:
     if kind == "large":
         return grover_large_rows(n, **kwargs)
     raise ValueError(f"unknown grover task kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Portfolio racing (anytime curves across instances x deadlines)
+# ---------------------------------------------------------------------------
+
+_PORTFOLIO_KEYS = ("instances", "deadlines", "racers", "p", "seed")
+
+#: Default instance x deadline grids: a tiny CI-friendly pair, and the
+#: benchmark workloads at paper scale.
+_PORTFOLIO_DEFAULTS = {
+    "quick": {
+        "instances": (
+            {"problem": "maxcut", "n": 6, "mixer": "x"},
+            {"problem": "densest_subgraph", "n": 7, "problem_params": {"k": 3}, "mixer": "clique"},
+        ),
+        "deadlines": (0.5, 2.0),
+        "p": 2,
+        "seed": 0,
+    },
+    "paper": {
+        "instances": (
+            {"problem": "maxcut", "n": 10, "mixer": "x"},
+            {"problem": "densest_subgraph", "n": 11, "problem_params": {"k": 5}, "mixer": "clique"},
+        ),
+        "deadlines": (1.0, 5.0, 15.0),
+        "p": 2,
+        "seed": 0,
+    },
+}
+
+
+def _portfolio_tasks(overrides: dict) -> list[RowTask]:
+    params = _check_overrides("portfolio", overrides, _PORTFOLIO_KEYS)
+    grid = {**_PORTFOLIO_DEFAULTS[bench_scale()], **params}
+    racers = grid.get("racers")
+    deadlines = grid["deadlines"]
+    if isinstance(deadlines, (int, float)):
+        deadlines = (deadlines,)
+    tasks = []
+    for instance in _grid_entries(grid, "instances"):
+        for deadline in deadlines:
+            task_params: dict = {
+                "instance": dict(instance),
+                "deadline_s": float(deadline),
+                "p": int(grid["p"]),
+                "seed": int(grid["seed"]),
+            }
+            if racers is not None:
+                task_params["racers"] = racers
+            tasks.append(
+                RowTask(
+                    "portfolio",
+                    f"problem={instance['problem']}/n={instance['n']}/deadline={deadline}",
+                    task_params,
+                )
+            )
+    return tasks
 
 
 # ---------------------------------------------------------------------------
@@ -342,6 +401,13 @@ _EXPERIMENTS: dict[str, ExperimentSpec] = {
             enumerate=_grover_tasks,
             executor=_execute_grover,
             override_keys=_GROVER_KEYS,
+        ),
+        ExperimentSpec(
+            name="portfolio",
+            title="Portfolio racing — anytime curves across instances x deadlines",
+            enumerate=_portfolio_tasks,
+            executor=portfolio_rows,
+            override_keys=_PORTFOLIO_KEYS,
         ),
         ExperimentSpec(
             name="solve",

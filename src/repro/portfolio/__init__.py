@@ -1,0 +1,37 @@
+"""Anytime portfolio subsystem: budgets, shared incumbents, strategy racing.
+
+The budget primitives (:class:`Budget`, :class:`IncumbentBoard`) are imported
+eagerly — the :mod:`repro.angles` kernels depend on them, so they must stay
+import-cycle-free.  The racing layer re-enters the strategy registry (which
+imports the angles package), so it is re-exported lazily: the first attribute
+access imports :mod:`repro.portfolio.racing`, long after the package graph
+has settled.
+"""
+
+from .budget import Budget, IncumbentBoard
+
+__all__ = [
+    "Budget",
+    "IncumbentBoard",
+    "DEFAULT_RACERS",
+    "PortfolioResult",
+    "race_portfolio",
+    "racer_rng",
+    "racer_seed_key",
+]
+
+_RACING_EXPORTS = {
+    "DEFAULT_RACERS",
+    "PortfolioResult",
+    "race_portfolio",
+    "racer_rng",
+    "racer_seed_key",
+}
+
+
+def __getattr__(name: str):
+    if name in _RACING_EXPORTS:
+        from . import racing
+
+        return getattr(racing, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,189 @@
+"""Deadline, cancellation and shared-incumbent plumbing for anytime solves.
+
+Two small primitives make every angle strategy *anytime*:
+
+* :class:`Budget` — a cooperative deadline/cancellation token threaded through
+  the strategy kernels (the vectorized multi-start loop, scipy BFGS wrappers,
+  grid chunks, basinhopping hops).  Strategies poll :meth:`Budget.exhausted`
+  at their natural checkpoint granularity and return their best-so-far
+  :class:`~repro.angles.result.AngleResult` instead of raising, so a deadline
+  is a *quality* knob, not an error path.
+* :class:`IncumbentBoard` — the portfolio's shared incumbent: racers publish
+  improvements as they find them, reads are plain attribute loads (a single
+  tuple swap under the GIL, so readers never block on a lock), and the board
+  keeps a monotone ``(elapsed, value, source)`` trail — exactly the anytime
+  quality curve the benchmark plots.
+
+Neither primitive imports anything above the standard library, so the
+low-level :mod:`repro.angles` kernels can depend on them without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = ["Budget", "IncumbentBoard"]
+
+
+class Budget:
+    """A cooperative wall-clock budget with cancellation.
+
+    Parameters
+    ----------
+    deadline_s:
+        Seconds of wall clock this work may spend, measured from construction
+        (``None``: unbounded — the token then only carries cancellation).
+        A zero-second budget is legal: strategies guarantee at least one
+        evaluation before their first poll, so a zero-slack deadline still
+        returns a seed-scored result.
+    parent:
+        Optional enclosing budget.  A child is exhausted when *either* its own
+        deadline/cancellation fires or the parent's does; cancelling a child
+        never cancels the parent.  The portfolio hands each racer a child of
+        the race-wide budget so one racer can be cancelled individually.
+    """
+
+    def __init__(self, deadline_s: float | None = None, *, parent: "Budget | None" = None):
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if not math.isfinite(deadline_s) or deadline_s < 0.0:
+                raise ValueError(f"deadline_s must be finite and >= 0, got {deadline_s}")
+        self.deadline_s = deadline_s
+        self.parent = parent
+        self.started = time.perf_counter()
+        self._cancelled = threading.Event()
+
+    # -- clock ---------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since this budget started."""
+        return time.perf_counter() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline (``inf`` when unbounded).
+
+        Never negative, and bounded by the parent's remaining time.
+        """
+        own = math.inf if self.deadline_s is None else self.deadline_s - self.elapsed()
+        if self.parent is not None:
+            own = min(own, self.parent.remaining())
+        return max(0.0, own)
+
+    def expired(self) -> bool:
+        """Whether the deadline (own or inherited) has passed."""
+        if self.deadline_s is not None and self.elapsed() >= self.deadline_s:
+            return True
+        return self.parent is not None and self.parent.expired()
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self) -> None:
+        """Cooperatively stop the work this budget governs."""
+        self._cancelled.set()
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called here or on an ancestor."""
+        if self._cancelled.is_set():
+            return True
+        return self.parent is not None and self.parent.cancelled()
+
+    def exhausted(self) -> bool:
+        """The one poll strategies make: deadline passed *or* cancelled."""
+        return self.cancelled() or self.expired()
+
+    def child(self) -> "Budget":
+        """A linked sub-budget (own cancellation, inherited deadline)."""
+        return Budget(parent=self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled() else ("expired" if self.expired() else "live")
+        limit = "unbounded" if self.deadline_s is None else f"{self.deadline_s:.3f}s"
+        return f"Budget({limit}, elapsed={self.elapsed():.3f}s, {state})"
+
+
+class IncumbentBoard:
+    """The racers' shared incumbent: monotone best-so-far plus its trail.
+
+    ``publish`` keeps the strictly better of (current incumbent, candidate)
+    — "better" in the board's ``maximize`` sense beyond a relative tolerance,
+    so floating-point echoes of the same optimum never churn the trail — and
+    appends one ``{"t", "value", "source"}`` event per genuine improvement.
+    The current incumbent is stored as one immutable tuple, so readers
+    (:meth:`value`, :meth:`best`) are a single attribute load and never
+    contend with publishers; publishers serialize on a micro-lock only to
+    keep the trail ordered.
+
+    When the problem's true ``optimum`` is known (dense solves precompute the
+    full spectrum), :meth:`done` reports the one *provable* stopping
+    condition: the incumbent already matches the optimum within tolerance,
+    so no racer's remaining budget can improve on it.
+    """
+
+    def __init__(
+        self,
+        *,
+        maximize: bool = True,
+        optimum: float | None = None,
+        rtol: float = 1e-10,
+    ):
+        self.maximize = bool(maximize)
+        self.optimum = None if optimum is None else float(optimum)
+        self.rtol = float(rtol)
+        self.started = time.perf_counter()
+        self._best: tuple[float, object, str, float] | None = None  # (value, angles, source, t)
+        self._trail: list[dict] = []
+        self._lock = threading.Lock()
+
+    # -- reads (lock-free) ---------------------------------------------
+    def best(self) -> tuple[float, object, str] | None:
+        """``(value, angles, source)`` of the incumbent, or ``None``."""
+        snapshot = self._best
+        if snapshot is None:
+            return None
+        return snapshot[0], snapshot[1], snapshot[2]
+
+    def value(self) -> float | None:
+        """The incumbent value, or ``None`` before the first publish."""
+        snapshot = self._best
+        return None if snapshot is None else snapshot[0]
+
+    def done(self) -> bool:
+        """Provably finished: the incumbent matches the known optimum."""
+        if self.optimum is None:
+            return False
+        snapshot = self._best
+        if snapshot is None:
+            return False
+        return not self._better(self.optimum, snapshot[0])
+
+    def _better(self, candidate: float, incumbent: float) -> bool:
+        tol = self.rtol * (1.0 + abs(incumbent))
+        if self.maximize:
+            return candidate > incumbent + tol
+        return candidate < incumbent - tol
+
+    # -- writes --------------------------------------------------------
+    def publish(self, value: float, angles, source: str = "") -> bool:
+        """Offer a candidate incumbent; returns whether it took the board."""
+        value = float(value)
+        with self._lock:
+            if self._best is not None and not self._better(value, self._best[0]):
+                return False
+            t = time.perf_counter() - self.started
+            self._best = (value, angles, source, t)
+            self._trail.append({"t": t, "value": value, "source": source})
+            return True
+
+    def trail(self) -> list[dict]:
+        """A copy of the monotone improvement trail (the anytime curve)."""
+        with self._lock:
+            return [dict(event) for event in self._trail]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snapshot = self._best
+        if snapshot is None:
+            return "IncumbentBoard(empty)"
+        return (
+            f"IncumbentBoard(value={snapshot[0]:.6g}, source={snapshot[2]!r}, "
+            f"improvements={len(self._trail)})"
+        )

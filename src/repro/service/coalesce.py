@@ -36,6 +36,7 @@ from ..angles.random_restart import (
 from ..api.solver import SolveResult
 from ..api.spec import SolveSpec
 from ..api.strategies import STRATEGIES, _normalized
+from ..portfolio.budget import Budget
 from .pools import WarmEntry, pool_fingerprint
 
 __all__ = ["coalesce_key", "coalescible", "solve_group", "CoalesceWindow"]
@@ -81,22 +82,29 @@ def coalescible(spec: SolveSpec) -> bool:
     return set(spec.strategy.params) <= _COALESCIBLE_PARAMS
 
 
-def solve_group(entry: WarmEntry, specs: Sequence[SolveSpec]) -> list[SolveResult]:
+def solve_group(
+    entry: WarmEntry, specs: Sequence[SolveSpec], *, budget: Budget | None = None
+) -> list[SolveResult]:
     """Solve a group of same-:func:`coalesce_key` specs on one warm entry.
 
     The caller holds ``entry.lock``.  Multi-request coalescible groups run as
     one stacked multi-start refinement; everything else (single requests and
     non-coalescible strategies) runs sequentially through the normal
     :meth:`~repro.api.solver.QAOASolver.run` path — bit-identical to a
-    one-shot :func:`repro.api.solve` of the same spec.
+    one-shot :func:`repro.api.solve` of the same spec.  ``budget`` (optional)
+    deadline-bounds the group: coalesced batches poll it per lock-step
+    iteration, sequential members each receive it and return best-so-far
+    ``timed_out`` results once it expires.
     """
     specs = list(specs)
     if len(specs) > 1 and all(coalescible(spec) for spec in specs):
-        return _solve_coalesced(entry, specs)
-    return [entry.solver_for(spec).run() for spec in specs]
+        return _solve_coalesced(entry, specs, budget=budget)
+    return [entry.solver_for(spec).run(budget=budget) for spec in specs]
 
 
-def _solve_coalesced(entry: WarmEntry, specs: list[SolveSpec]) -> list[SolveResult]:
+def _solve_coalesced(
+    entry: WarmEntry, specs: list[SolveSpec], *, budget: Budget | None = None
+) -> list[SolveResult]:
     """Run every spec's random restarts as columns of one multi-start batch."""
     started = time.perf_counter()
     ansatz = entry.ansatz
@@ -110,7 +118,7 @@ def _solve_coalesced(entry: WarmEntry, specs: list[SolveSpec]) -> list[SolveResu
             for spec in specs
         ]
     )
-    report = multistart_minimize(ansatz, seeds, maxiter=maxiter)
+    report = multistart_minimize(ansatz, seeds, maxiter=maxiter, budget=budget)
 
     results = []
     for index, spec in enumerate(specs):
@@ -118,6 +126,7 @@ def _solve_coalesced(entry: WarmEntry, specs: list[SolveSpec]) -> list[SolveResu
         per_restart = restart_results_from_report(ansatz, report, start=start, count=iters)
         evaluations = int(report.column_evaluations[start : start + iters].sum())
         summary = summarize_restarts(ansatz, per_restart, evaluations)
+        summary.timed_out = report.timed_out
         angle_result = _normalized(summary, "random", ansatz)
         solver = entry.solver_for(spec)
         results.append(solver.result_from_angles(angle_result, started=started))
@@ -127,18 +136,21 @@ def _solve_coalesced(entry: WarmEntry, specs: list[SolveSpec]) -> list[SolveResu
 class CoalesceWindow:
     """Async request batcher: hold, group by key, flush to a blocking solver.
 
-    ``solve_batch`` is a blocking callable ``list[SolveSpec] ->
+    ``solve_batch`` is a blocking callable ``(list[SolveSpec], deadline_s) ->
     list[SolveResult]`` (typically :meth:`SolverService.solve_many`); it runs
     in the event loop's executor so the loop stays responsive.  The first
     request of a key starts a ``window_s`` timer; every same-key request
     arriving before it fires joins the batch, and a batch reaching
-    ``max_batch`` flushes immediately.  All bookkeeping happens on the event
-    loop thread, so no locks are needed.
+    ``max_batch`` flushes immediately.  Requests only merge with requests
+    carrying the *same* deadline — a deadline applies to the whole batch, so
+    mixing budgets would let one client's tight deadline truncate another's
+    unhurried solve.  All bookkeeping happens on the event loop thread, so no
+    locks are needed.
     """
 
     def __init__(
         self,
-        solve_batch: Callable[[list[SolveSpec]], list[SolveResult]],
+        solve_batch: Callable[..., list[SolveResult]],
         *,
         window_s: float = 0.01,
         max_batch: int = 64,
@@ -153,33 +165,35 @@ class CoalesceWindow:
         self._pending: dict[str, list[tuple[SolveSpec, asyncio.Future]]] = {}
         self.flushes = 0
 
-    async def submit(self, spec: SolveSpec) -> SolveResult:
+    async def submit(self, spec: SolveSpec, *, deadline_s: float | None = None) -> SolveResult:
         """Enqueue one request and await its result."""
         loop = asyncio.get_running_loop()
-        key = coalesce_key(spec)
+        key = f"{coalesce_key(spec)}|{deadline_s!r}"
         future: asyncio.Future = loop.create_future()
         batch = self._pending.setdefault(key, [])
         batch.append((spec, future))
         if len(batch) >= self.max_batch:
             del self._pending[key]
-            loop.create_task(self._dispatch(batch))
+            loop.create_task(self._dispatch(batch, deadline_s))
         elif len(batch) == 1:
-            loop.create_task(self._flush_after(key))
+            loop.create_task(self._flush_after(key, deadline_s))
         return await future
 
-    async def _flush_after(self, key: str) -> None:
+    async def _flush_after(self, key: str, deadline_s: float | None) -> None:
         if self.window_s:
             await asyncio.sleep(self.window_s)
         batch = self._pending.pop(key, None)
         if batch:
-            await self._dispatch(batch)
+            await self._dispatch(batch, deadline_s)
 
-    async def _dispatch(self, batch: list[tuple[SolveSpec, asyncio.Future]]) -> None:
+    async def _dispatch(
+        self, batch: list[tuple[SolveSpec, asyncio.Future]], deadline_s: float | None
+    ) -> None:
         loop = asyncio.get_running_loop()
         specs = [spec for spec, _ in batch]
         self.flushes += 1
         try:
-            results = await loop.run_in_executor(None, self._solve_batch, specs)
+            results = await loop.run_in_executor(None, self._solve_batch, specs, deadline_s)
         except Exception as exc:  # noqa: BLE001 - fan the failure out per request
             for _, future in batch:
                 if not future.done():

@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
+from collections import deque
+from statistics import median
 from typing import Any, Iterable, Mapping
 
 from ..api.solver import SolveResult
 from ..api.spec import SolveSpec
 from ..io.cache import ResultCache, result_cache_from_env
+from ..portfolio.budget import Budget
 from .coalesce import CoalesceWindow, coalesce_key, coalescible, solve_group
 from .pools import WarmPool
 
@@ -77,18 +81,26 @@ class SolverService:
         self.coalesced_groups = 0
         self.coalesced_requests = 0
         self.solved = 0
+        self.deadline_requests = 0
+        self.deadlines_met = 0
+        self.deadlines_missed = 0
+        self._deadline_slack: deque[float] = deque(maxlen=256)
 
     # -- synchronous API ----------------------------------------------
     @staticmethod
     def _as_spec(spec: SolveSpec | Mapping[str, Any]) -> SolveSpec:
         return spec if isinstance(spec, SolveSpec) else SolveSpec.from_dict(spec)
 
-    def solve(self, spec: SolveSpec | Mapping[str, Any]) -> SolveResult:
+    def solve(
+        self, spec: SolveSpec | Mapping[str, Any], *, deadline_s: float | None = None
+    ) -> SolveResult:
         """One solve through the cache + warm pool (no cross-request merging)."""
-        return self.solve_many([spec])[0]
+        return self.solve_many([spec], deadline_s)[0]
 
     def solve_many(
-        self, specs: Iterable[SolveSpec | Mapping[str, Any]]
+        self,
+        specs: Iterable[SolveSpec | Mapping[str, Any]],
+        deadline_s: float | None = None,
     ) -> list[SolveResult]:
         """Solve a batch of specs, coalescing same-key members into one GEMM.
 
@@ -96,9 +108,17 @@ class SolverService:
         touching the pool or the simulator; everything else is grouped by
         :func:`coalesce_key`, executed per group on its warm entry, and
         written back to the result cache.
+
+        ``deadline_s`` bounds the *whole batch* with one shared
+        :class:`~repro.portfolio.budget.Budget`: each group polls it and
+        returns best-so-far ``timed_out`` results once it expires.  Timed-out
+        results are never written to the result cache (they reflect the
+        deadline, not the spec).
         """
         specs = [self._as_spec(spec) for spec in specs]
         results: list[SolveResult | None] = [None] * len(specs)
+        budget = None if deadline_s is None else Budget(deadline_s)
+        started = time.perf_counter()
 
         pending: dict[str, list[int]] = {}
         hits = 0
@@ -106,7 +126,11 @@ class SolverService:
             if self.result_cache is not None:
                 row = self.result_cache.get(spec)
                 if row is not None:
-                    results[index] = SolveResult.from_row(spec, row, cached=True)
+                    # A hit is answered *now*: report the (tiny) time it took
+                    # to answer, not the solve time baked into the stored row.
+                    results[index] = SolveResult.from_row(
+                        spec, row, cached=True, wall_time_s=time.perf_counter() - started
+                    )
                     hits += 1
                     continue
             pending.setdefault(coalesce_key(spec), []).append(index)
@@ -118,11 +142,11 @@ class SolverService:
             group = [specs[i] for i in indices]
             entry = self.pool.entry_for(group[0])
             with entry.lock:
-                group_results = solve_group(entry, group)
+                group_results = solve_group(entry, group, budget=budget)
             stores = 0
             for index, result in zip(indices, group_results):
                 results[index] = result
-                if self.result_cache is not None:
+                if self.result_cache is not None and not result.timed_out:
                     self.result_cache.put(specs[index], result.to_row())
                     stores += 1
             merged = len(group) > 1 and all(coalescible(spec) for spec in group)
@@ -132,6 +156,17 @@ class SolverService:
                 if merged:
                     self.coalesced_groups += 1
                     self.coalesced_requests += len(group)
+
+        if deadline_s is not None:
+            elapsed = time.perf_counter() - started
+            with self._stats_lock:
+                for result in results:
+                    self.deadline_requests += 1
+                    if result is not None and result.timed_out:
+                        self.deadlines_missed += 1
+                    else:
+                        self.deadlines_met += 1
+                self._deadline_slack.append(deadline_s - elapsed)
 
         return results  # type: ignore[return-value]
 
@@ -148,18 +183,24 @@ class SolverService:
             self._windows[id(loop)] = window
         return window
 
-    async def submit(self, spec: SolveSpec | Mapping[str, Any]) -> SolveResult:
+    async def submit(
+        self, spec: SolveSpec | Mapping[str, Any], *, deadline_s: float | None = None
+    ) -> SolveResult:
         """Async solve: briefly held for coalescing, then executed off-loop.
 
         Concurrent ``submit`` calls whose specs share a coalesce key within
-        ``window_s`` are answered from one batched solve.
+        ``window_s`` — and carry the same ``deadline_s`` — are answered from
+        one batched solve.
         """
-        return await self._window_for_running_loop().submit(self._as_spec(spec))
+        return await self._window_for_running_loop().submit(
+            self._as_spec(spec), deadline_s=deadline_s
+        )
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:
         """JSON-serializable counters (the ``/stats`` endpoint's payload)."""
         with self._stats_lock:
+            slacks = list(self._deadline_slack)
             counters = {
                 "requests": self.requests,
                 "cache_hits": self.cache_hits,
@@ -167,6 +208,10 @@ class SolverService:
                 "coalesced_groups": self.coalesced_groups,
                 "coalesced_requests": self.coalesced_requests,
                 "solved": self.solved,
+                "deadline_requests": self.deadline_requests,
+                "deadlines_met": self.deadlines_met,
+                "deadlines_missed": self.deadlines_missed,
+                "median_deadline_slack_s": median(slacks) if slacks else None,
             }
         return {
             **counters,

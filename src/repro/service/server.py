@@ -8,7 +8,10 @@ framework, no threads beyond the service's own executor use.  Endpoints:
 * ``POST /solve`` — body is a :class:`~repro.api.spec.SolveSpec` JSON
   document, ``{"spec": {...}}``, or ``{"specs": [{...}, ...]}``.  Requests
   are forwarded through :meth:`SolverService.submit`, so concurrent clients
-  (and the members of one ``specs`` list) coalesce into shared batches.
+  (and the members of one ``specs`` list) coalesce into shared batches.  An
+  optional top-level ``deadline_ms`` (a positive number) bounds the request:
+  the solver returns its best-so-far answer with ``timed_out: true`` once
+  the budget runs out, and only same-deadline requests batch together.
 
 Responses carry the flat result row (:meth:`SolveResult.to_row`) plus a
 ``cached`` flag.  Malformed input is a 400 with a JSON error body; unknown
@@ -92,8 +95,20 @@ async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
     return method, path.split("?", 1)[0], body
 
 
-def _parse_solve_body(body: bytes) -> tuple[list[SolveSpec], bool]:
-    """The specs of a ``POST /solve`` body; ``(specs, many)``."""
+def _parse_deadline_ms(payload: dict) -> float | None:
+    """Validate an optional top-level ``deadline_ms``; returns seconds."""
+    if "deadline_ms" not in payload:
+        return None
+    raw = payload["deadline_ms"]
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise _HttpError(400, f"'deadline_ms' must be a number, got {raw!r}")
+    if not raw > 0:
+        raise _HttpError(400, f"'deadline_ms' must be positive, got {raw!r}")
+    return float(raw) / 1000.0
+
+
+def _parse_solve_body(body: bytes) -> tuple[list[SolveSpec], bool, float | None]:
+    """The specs of a ``POST /solve`` body; ``(specs, many, deadline_s)``."""
     try:
         payload = json.loads(body.decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -101,6 +116,7 @@ def _parse_solve_body(body: bytes) -> tuple[list[SolveSpec], bool]:
     if not isinstance(payload, dict):
         raise _HttpError(400, "body must be a JSON object")
 
+    deadline_s = _parse_deadline_ms(payload)
     if "specs" in payload:
         raw_specs = payload["specs"]
         if not isinstance(raw_specs, list) or not raw_specs:
@@ -115,11 +131,13 @@ def _parse_solve_body(body: bytes) -> tuple[list[SolveSpec], bool]:
 
     specs = []
     for raw in raw_specs:
+        if isinstance(raw, dict) and raw is payload:
+            raw = {k: v for k, v in raw.items() if k != "deadline_ms"}
         try:
             specs.append(SolveSpec.from_dict(raw))
         except (KeyError, TypeError, ValueError) as exc:
             raise _HttpError(400, f"bad solve spec: {exc}") from exc
-    return specs, many
+    return specs, many, deadline_s
 
 
 def _result_payload(result) -> dict:
@@ -138,11 +156,13 @@ async def _handle_request(service: SolverService, method: str, path: str, body: 
     if path == "/solve":
         if method != "POST":
             raise _HttpError(405, "use POST")
-        specs, many = _parse_solve_body(body)
+        specs, many, deadline_s = _parse_solve_body(body)
         try:
             # Submitting concurrently lets the members of one request body
             # coalesce with each other and with other clients' requests.
-            results = await asyncio.gather(*(service.submit(spec) for spec in specs))
+            results = await asyncio.gather(
+                *(service.submit(spec, deadline_s=deadline_s) for spec in specs)
+            )
         except (TypeError, ValueError) as exc:
             raise _HttpError(400, str(exc)) from exc
         if many:

@@ -37,6 +37,12 @@ CHEAP_STRATEGY_PARAMS = {
     "fourier": {"n_hops": 1, "n_starts_p1": 1, "maxiter": 30},
     "median": {"iters": 3, "maxiter": 30},
     "multistart": {"iters": 3, "maxiter": 30},
+    "portfolio": {
+        "racers": [
+            {"name": "multistart", "params": {"iters": 2, "maxiter": 30}},
+            {"name": "random", "params": {"iters": 2, "maxiter": 30, "vectorized": False}},
+        ],
+    },
 }
 
 

@@ -43,7 +43,9 @@ def tiny_fig2_run(out_dir, **kwargs):
 
 class TestTasks:
     def test_registry_covers_every_figure(self):
-        assert EXPERIMENT_NAMES == ("fig2", "fig3", "fig4a", "fig4b", "fig5", "grover", "solve")
+        assert EXPERIMENT_NAMES == (
+            "fig2", "fig3", "fig4a", "fig4b", "fig5", "grover", "portfolio", "solve"
+        )
         for name in EXPERIMENT_NAMES:
             assert get_experiment(name).name == name
 

@@ -1,0 +1,435 @@
+"""Anytime portfolio subsystem: budgets, incumbent boards, racing, deadlines.
+
+The load-bearing properties:
+
+* **cooperative cancellation** — a budgeted strategy interrupted mid-search
+  returns a *valid* best-so-far result (value really is the expectation at the
+  returned angles) with a strictly improving incumbent trail, never an
+  exception;
+* **zero-slack floor** — even an already-expired budget scores at least the
+  seed angles, so every deadline returns something usable;
+* **determinism** — racer ``i`` of a seeded race is bit-identical to the same
+  strategy run standalone with :func:`racer_rng`, and the winner is picked by
+  value and racer index, never by thread timing;
+* **service deadlines** — ``deadline_ms`` flows through HTTP into a batch
+  budget, timed-out rows are reported (and never cached), and ``/stats``
+  counts met/missed deadlines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import SolveSpec, run_strategy, solve
+from repro.api.solver import QAOASolver, SolveResult
+from repro.core.ansatz import QAOAAnsatz
+from repro.mixers import mixer_x
+from repro.portfolio import (
+    Budget,
+    IncumbentBoard,
+    PortfolioResult,
+    race_portfolio,
+    racer_rng,
+)
+from repro.problems import make_problem
+from repro.service import SolverService
+from repro.service.server import run_server
+
+CHEAP_RACERS = [
+    {"name": "multistart", "params": {"iters": 2, "maxiter": 30}},
+    {"name": "random", "params": {"iters": 2, "maxiter": 30, "vectorized": False}},
+]
+
+
+@pytest.fixture(scope="module")
+def ansatz() -> QAOAAnsatz:
+    problem = make_problem("maxcut", 6, seed=2)
+    return QAOAAnsatz.from_problem(problem, mixer_x([1], 6), 2)
+
+
+def _spec(seed=0, **strategy_params):
+    return SolveSpec.build(
+        problem="maxcut",
+        n=6,
+        mixer="x",
+        strategy="random",
+        strategy_params={"iters": 4, **strategy_params},
+        p=2,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Budget
+# ---------------------------------------------------------------------------
+
+
+class TestBudget:
+    def test_no_deadline_never_exhausts(self):
+        budget = Budget(None)
+        assert budget.remaining() == float("inf")
+        assert not budget.expired()
+        assert not budget.exhausted()
+
+    def test_deadline_expires(self):
+        budget = Budget(0.01)
+        assert budget.remaining() <= 0.01
+        time.sleep(0.02)
+        assert budget.expired() and budget.exhausted()
+
+    def test_zero_deadline_is_immediately_exhausted(self):
+        assert Budget(0.0).exhausted()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-1.0)
+
+    def test_cancel_exhausts_without_expiring(self):
+        budget = Budget(None)
+        budget.cancel()
+        assert budget.cancelled() and budget.exhausted() and not budget.expired()
+
+    def test_child_inherits_deadline_but_cancels_independently(self):
+        parent = Budget(60.0)
+        child = parent.child()
+        assert child.remaining() <= 60.0
+        child.cancel()
+        assert child.exhausted() and not parent.exhausted()
+        other = parent.child()
+        parent.cancel()
+        assert other.exhausted()
+
+
+# ---------------------------------------------------------------------------
+# IncumbentBoard
+# ---------------------------------------------------------------------------
+
+
+class TestIncumbentBoard:
+    def test_trail_is_strictly_monotone(self):
+        board = IncumbentBoard(maximize=True)
+        angles = np.zeros(2)
+        assert board.publish(1.0, angles, source="a")
+        assert not board.publish(0.5, angles, source="a")
+        assert board.publish(2.0, angles, source="b")
+        # fp-noise within rtol of the incumbent is rejected, not churned
+        assert not board.publish(2.0 + 1e-13, angles, source="a")
+        values = [event["value"] for event in board.trail()]
+        assert values == [1.0, 2.0]
+        assert board.value() == 2.0
+
+    def test_minimize_direction(self):
+        board = IncumbentBoard(maximize=False)
+        board.publish(5.0, np.zeros(2), source="a")
+        assert not board.publish(6.0, np.zeros(2), source="a")
+        assert board.publish(4.0, np.zeros(2), source="b")
+        assert board.value() == 4.0
+
+    def test_best_returns_published_angles_and_source(self):
+        board = IncumbentBoard(maximize=True)
+        board.publish(3.0, np.array([0.1, 0.2]), source="1:random")
+        value, angles, source = board.best()
+        assert value == 3.0 and source == "1:random"
+        np.testing.assert_array_equal(angles, [0.1, 0.2])
+
+    def test_done_only_at_known_optimum(self):
+        board = IncumbentBoard(maximize=True, optimum=10.0)
+        board.publish(9.0, np.zeros(2), source="a")
+        assert not board.done()
+        board.publish(10.0, np.zeros(2), source="a")
+        assert board.done()
+        assert not IncumbentBoard(maximize=True).done()  # no optimum known
+
+
+# ---------------------------------------------------------------------------
+# Budgeted strategies
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetedStrategies:
+    def test_interrupted_mid_bfgs_returns_valid_monotone_incumbents(self, ansatz):
+        """A strategy cut off mid-refinement yields a scored best-so-far
+        result and a strictly improving trail, not an exception."""
+        trail = []
+
+        def record(value, angles):
+            trail.append((float(value), np.array(angles)))
+
+        result = run_strategy(
+            "random",
+            ansatz,
+            rng=3,
+            iters=50,
+            maxiter=200,
+            vectorized=False,
+            budget=Budget(0.05),
+            on_incumbent=record,
+        )
+        assert result.timed_out
+        assert result.evaluations > 0
+        assert np.isfinite(result.value)
+        assert ansatz.expectation(result.angles) == pytest.approx(result.value, abs=1e-8)
+        values = [value for value, _ in trail]
+        assert values == sorted(values) and len(set(values)) == len(values)
+        # every published incumbent is a real (value, angles) pair
+        for value, angles in trail:
+            assert ansatz.expectation(angles) == pytest.approx(value, abs=1e-8)
+        # the final result is at least as good as every published incumbent
+        # (the interrupted refinement's best point may beat the last callback)
+        assert result.value >= max(values) - 1e-10
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("multistart", {"iters": 4, "maxiter": 50}),
+            ("random", {"iters": 4, "maxiter": 50, "vectorized": False}),
+            ("grid", {"resolution": 6}),
+            ("basinhop", {"n_hops": 3, "maxiter": 50}),
+            ("iterative", {"n_hops": 1, "n_starts_p1": 2, "maxiter": 50}),
+        ],
+    )
+    def test_zero_slack_budget_returns_seed_scored_best(self, ansatz, name, params):
+        """An already-expired budget still evaluates at least once."""
+        result = run_strategy(name, ansatz, rng=0, budget=Budget(0.0), **params)
+        assert result.timed_out
+        assert result.evaluations > 0
+        assert result.angles.shape == (ansatz.num_angles,)
+        assert ansatz.expectation(result.angles) == pytest.approx(result.value, abs=1e-8)
+
+    def test_without_budget_results_are_unchanged(self, ansatz):
+        plain = run_strategy("random", ansatz, rng=1, iters=3, maxiter=30)
+        roomy = run_strategy(
+            "random", ansatz, rng=1, iters=3, maxiter=30, budget=Budget(None)
+        )
+        assert not plain.timed_out and not roomy.timed_out
+        np.testing.assert_array_equal(plain.angles, roomy.angles)
+        assert plain.value == roomy.value
+        assert plain.evaluations == roomy.evaluations
+
+
+# ---------------------------------------------------------------------------
+# Racing
+# ---------------------------------------------------------------------------
+
+
+class TestRace:
+    def test_winner_deterministic_under_fixed_seed(self, ansatz):
+        first = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=11)
+        second = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=11)
+        assert isinstance(first, PortfolioResult)
+        assert first.winner == second.winner
+        assert first.result.value == second.result.value
+        np.testing.assert_array_equal(first.result.angles, second.result.angles)
+        assert first.result.evaluations == second.result.evaluations
+
+    def test_racer_matches_standalone_run_bit_for_bit(self, ansatz):
+        outcome = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=11)
+        winner = outcome.winner
+        spec = CHEAP_RACERS[winner]
+        standalone = run_strategy(
+            spec["name"], ansatz, rng=racer_rng(11, winner), **spec["params"]
+        )
+        assert standalone.value == outcome.result.value
+        np.testing.assert_array_equal(standalone.angles, outcome.result.angles)
+
+    def test_zero_slack_deadline_still_returns_a_result(self, ansatz):
+        outcome = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=0, deadline_s=1e-6)
+        assert outcome.result.timed_out
+        assert np.isfinite(outcome.result.value)
+        assert ansatz.expectation(outcome.result.angles) == pytest.approx(
+            outcome.result.value, abs=1e-8
+        )
+
+    def test_trail_is_monotone_and_reports_are_complete(self, ansatz):
+        outcome = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=5)
+        values = [event["value"] for event in outcome.trail]
+        assert values and values == sorted(values)
+        assert len(outcome.racers) == len(CHEAP_RACERS)
+        for index, report in enumerate(outcome.racers):
+            assert report["racer"] == index
+            assert report["finished"] and report["value"] is not None
+        # the portfolio returns the best racer final
+        assert outcome.result.value == max(r["value"] for r in outcome.racers)
+
+    def test_race_finishing_inside_deadline_is_not_timed_out(self, ansatz):
+        """Laggard cancellation is a success, not a deadline truncation."""
+        outcome = race_portfolio(ansatz, racers=CHEAP_RACERS, rng=2, deadline_s=60.0)
+        assert not outcome.result.timed_out
+
+    def test_validation_errors(self, ansatz):
+        with pytest.raises(ValueError, match="at least one racer"):
+            race_portfolio(ansatz, racers=[])
+        with pytest.raises(ValueError, match="cannot race itself"):
+            race_portfolio(ansatz, racers=[{"name": "portfolio"}])
+        with pytest.raises(ValueError, match="no 'name'"):
+            race_portfolio(ansatz, racers=[{"params": {}}])
+
+    def test_registered_strategy_carries_trail_history(self, ansatz):
+        result = run_strategy(
+            "portfolio", ansatz, rng=7, racers=CHEAP_RACERS, deadline_s=30.0
+        )
+        assert result.strategy == "portfolio"
+        trail = result.history[-1]["trail"]
+        assert trail and all({"t", "value", "source"} <= set(e) for e in trail)
+
+
+# ---------------------------------------------------------------------------
+# Solver timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestSolveTimeout:
+    def test_timeout_reports_best_so_far(self):
+        spec = _spec(0, iters=200, maxiter=300, vectorized=False)
+        result = QAOASolver(spec).run(timeout_s=0.05)
+        assert result.timed_out
+        assert result.evaluations > 0
+        assert result.wall_time_s > 0
+        assert np.isfinite(result.value)
+        row = result.to_row()
+        assert row["timed_out"] is True
+        assert row["wall_time_s"] > 0 and row["evaluations"] > 0
+
+    def test_solve_facade_accepts_timeout(self):
+        result = solve(_spec(0), timeout_s=30.0)
+        assert not result.timed_out
+        assert result.to_row()["timed_out"] is False
+
+    def test_row_round_trip_preserves_flags(self):
+        spec = _spec(1)
+        result = solve(spec)
+        row = result.to_row()
+        back = SolveResult.from_row(spec, row, cached=True)
+        assert back.cached and back.timed_out == result.timed_out
+        assert back.wall_time_s == row["wall_time_s"]
+        assert back.evaluations == row["evaluations"]
+        override = SolveResult.from_row(spec, row, cached=True, wall_time_s=0.5)
+        assert override.wall_time_s == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Service deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestServiceDeadlines:
+    def test_missed_deadline_counts_and_reports(self):
+        service = SolverService(result_cache=None)
+        result = service.solve(
+            _spec(0, iters=200, maxiter=300, vectorized=False), deadline_s=0.02
+        )
+        assert result.timed_out
+        stats = service.stats()
+        assert stats["deadline_requests"] == 1
+        assert stats["deadlines_missed"] == 1 and stats["deadlines_met"] == 0
+        assert stats["median_deadline_slack_s"] < 0.02
+
+    def test_met_deadline_counts_with_positive_slack(self):
+        service = SolverService(result_cache=None)
+        result = service.solve(_spec(0), deadline_s=60.0)
+        assert not result.timed_out
+        stats = service.stats()
+        assert stats["deadlines_met"] == 1 and stats["deadlines_missed"] == 0
+        assert stats["median_deadline_slack_s"] > 0
+
+    def test_no_deadline_leaves_counters_untouched(self):
+        service = SolverService(result_cache=None)
+        service.solve(_spec(0))
+        stats = service.stats()
+        assert stats["deadline_requests"] == 0
+        assert stats["median_deadline_slack_s"] is None
+
+    def test_timed_out_results_are_never_cached(self, tmp_path):
+        from repro.io.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        service = SolverService(result_cache=cache)
+        slow = _spec(0, iters=200, maxiter=300, vectorized=False)
+        timed = service.solve(slow, deadline_s=0.02)
+        assert timed.timed_out
+        assert cache.get(slow) is None
+        fresh = service.solve(slow)
+        assert not fresh.timed_out and not fresh.cached
+        assert cache.get(slow) is not None
+        hit = service.solve(slow)
+        assert hit.cached and hit.value == fresh.value
+
+    def test_batch_shares_one_budget(self):
+        service = SolverService(result_cache=None)
+        specs = [
+            _spec(seed, iters=200, maxiter=300, vectorized=False) for seed in range(3)
+        ]
+        results = service.solve_many(specs, 0.05)
+        assert all(r.timed_out for r in results)
+        assert all(r.evaluations > 0 for r in results)
+        stats = service.stats()
+        assert stats["deadline_requests"] == 3 and stats["deadlines_missed"] == 3
+
+
+async def _http(host, port, method, path, payload=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("ascii")
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header, _, content = raw.partition(b"\r\n\r\n")
+    status = int(header.split(b" ", 2)[1])
+    return status, json.loads(content) if content else None
+
+
+class TestServerDeadlines:
+    PORT = 18657
+
+    def _run(self, coro_fn):
+        async def wrapper():
+            service = SolverService(result_cache=None, window_s=0.01)
+            ready = asyncio.Event()
+            task = asyncio.create_task(
+                run_server(service, host="127.0.0.1", port=self.PORT, ready=ready, log=None)
+            )
+            await asyncio.wait_for(ready.wait(), timeout=5)
+            try:
+                return await coro_fn(service)
+            finally:
+                task.cancel()
+
+        return asyncio.run(wrapper())
+
+    def test_deadline_ms_round_trip_and_stats(self):
+        async def scenario(service):
+            spec = _spec(0, iters=200, maxiter=300, vectorized=False)
+            status, row = await _http(
+                "127.0.0.1", self.PORT, "POST", "/solve",
+                {"spec": spec.to_dict(), "deadline_ms": 20},
+            )
+            assert status == 200
+            assert row["timed_out"] is True and row["evaluations"] > 0
+
+            status, stats = await _http("127.0.0.1", self.PORT, "GET", "/stats")
+            assert status == 200
+            assert stats["deadline_requests"] == 1 and stats["deadlines_missed"] == 1
+            assert stats["median_deadline_slack_s"] is not None
+
+        self._run(scenario)
+
+    def test_invalid_deadline_ms_is_a_clean_400(self):
+        async def scenario(service):
+            spec = _spec(0).to_dict()
+            for bad in (0, -10, "soon", True):
+                status, err = await _http(
+                    "127.0.0.1", self.PORT, "POST", "/solve",
+                    {"spec": spec, "deadline_ms": bad},
+                )
+                assert status == 400 and "deadline_ms" in err["error"]
+
+        self._run(scenario)
